@@ -1,0 +1,45 @@
+//! Ablation benches for the design choices DESIGN.md calls out: cache bank
+//! count, MSHR (outstanding-load) budget, and remote latency. Each variant
+//! simulates ocean on SMT2 (the configuration most sensitive to the memory
+//! system). Deterministic cycle impacts are printed by
+//! `cargo run --release --bin ablation_study`; this tracks wall time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csmt_core::ArchKind;
+use csmt_mem::MemConfig;
+use csmt_workloads::{apps, runner::simulate_with_mem};
+use std::hint::black_box;
+use std::time::Duration;
+
+const SCALE: f64 = 0.1;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    let app = apps::ocean();
+    let variants: Vec<(&str, MemConfig)> = vec![
+        ("baseline_table3", MemConfig::table3()),
+        ("banks_1", MemConfig { l1_banks: 1, l2_banks: 1, ..MemConfig::table3() }),
+        ("banks_16", MemConfig { l1_banks: 16, l2_banks: 16, ..MemConfig::table3() }),
+        ("mshr_4", MemConfig { max_outstanding_loads: 4, ..MemConfig::table3() }),
+        ("remote_2x", MemConfig {
+            remote_mem_latency: 120,
+            remote_l2_latency: 150,
+            ..MemConfig::table3()
+        }),
+        ("no_fill_occupancy", MemConfig { fill_time: 0, ..MemConfig::table3() }),
+    ];
+    for (name, cfg) in variants {
+        g.bench_function(format!("ocean_smt2_4chip/{name}"), |b| {
+            b.iter(|| {
+                black_box(simulate_with_mem(&app, ArchKind::Smt2, 4, SCALE, 7, cfg.clone()).cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! Microbenchmarks of the simulator's substrates — the pieces that
+//! implement Tables 1–3 — so hot-path regressions are caught independently
+//! of whole-figure runs: cache tag access, TLB translate, branch predictor,
+//! directory transactions, memory-system access, one cluster cycle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csmt_cpu::{BranchPredictor, Cluster, ClusterConfig};
+use csmt_isa::stream::CycleStream;
+use csmt_isa::{ArchReg, DynInst, OpClass, SplitMix64};
+use csmt_mem::cache::Cache;
+use csmt_mem::directory::Directory;
+use csmt_mem::tlb::Tlb;
+use csmt_mem::{AccessKind, MemConfig, MemorySystem};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn fast(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("components/cache");
+    fast(&mut g);
+    g.bench_function("l1_access_mixed", |b| {
+        let cfg = MemConfig::table3();
+        let mut cache = Cache::l1(&cfg);
+        let mut rng = SplitMix64::new(1);
+        b.iter(|| {
+            let line = rng.below(1 << 14);
+            black_box(cache.access(line, line.is_multiple_of(4)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_tlb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("components/tlb");
+    fast(&mut g);
+    g.bench_function("translate_512_entry", |b| {
+        let mut tlb = Tlb::new(512, 3);
+        let mut rng = SplitMix64::new(2);
+        b.iter(|| black_box(tlb.access(rng.below(2048))))
+    });
+    g.finish();
+}
+
+fn bench_bpred(c: &mut Criterion) {
+    let mut g = c.benchmark_group("components/bpred");
+    fast(&mut g);
+    g.bench_function("predict_resolve", |b| {
+        let mut p = BranchPredictor::new();
+        let mut rng = SplitMix64::new(3);
+        b.iter(|| {
+            let pc = rng.below(1 << 16) * 4;
+            let taken = rng.chance(0.6);
+            let pred = p.predict(pc);
+            p.resolve(pc, taken, pc + 64, pred != taken);
+            black_box(pred)
+        })
+    });
+    g.finish();
+}
+
+fn bench_directory(c: &mut Criterion) {
+    let mut g = c.benchmark_group("components/directory");
+    fast(&mut g);
+    g.bench_function("read_write_4node", |b| {
+        let mut d = Directory::new(4, 64);
+        let mut rng = SplitMix64::new(4);
+        b.iter(|| {
+            let line = rng.below(1 << 12);
+            let node = rng.below_usize(4);
+            if rng.chance(0.3) {
+                black_box(d.write(line, node))
+            } else {
+                black_box(d.read(line, node))
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_memory_system(c: &mut Criterion) {
+    let mut g = c.benchmark_group("components/memory_system");
+    fast(&mut g);
+    g.bench_function("access_4node", |b| {
+        let mut m = MemorySystem::new(MemConfig::table3(), 4, 5);
+        let mut rng = SplitMix64::new(6);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 2;
+            let addr = rng.below(1 << 24);
+            let node = rng.below_usize(4);
+            let kind = if rng.chance(0.25) { AccessKind::Write } else { AccessKind::Read };
+            black_box(m.access(node, addr, kind, now))
+        })
+    });
+    g.finish();
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let mut g = c.benchmark_group("components/cluster");
+    fast(&mut g);
+    g.bench_function("smt2_cluster_1k_cycles", |b| {
+        b.iter(|| {
+            let mut cl = Cluster::new(ClusterConfig::for_width(4, 4), 1);
+            let mut mem = MemorySystem::new(MemConfig::table3(), 1, 7);
+            let body: Vec<DynInst> = (0..8)
+                .map(|i| {
+                    DynInst::alu(
+                        i * 4,
+                        OpClass::FpAdd,
+                        Some(ArchReg::Fp(2 + (i % 4) as u8)),
+                        [Some(ArchReg::Fp(1)), None],
+                    )
+                })
+                .collect();
+            for t in 0..4 {
+                cl.attach_thread(t, Box::new(CycleStream::new(body.clone(), 2000)));
+            }
+            let mut events = Vec::new();
+            for now in 0..1000 {
+                cl.step(now, &mut mem, 0, &mut events);
+            }
+            black_box(cl.stats().committed)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_tlb,
+    bench_bpred,
+    bench_directory,
+    bench_memory_system,
+    bench_cluster
+);
+criterion_main!(benches);

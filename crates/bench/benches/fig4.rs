@@ -1,0 +1,32 @@
+//! Criterion bench for Figure 4's sweep: each (application × architecture)
+//! cell of the low-end FA-vs-SMT2 comparison, at a reduced work scale so
+//! the whole figure benches in minutes. The *cycle counts* the figure
+//! reports are deterministic (regenerate with
+//! `cargo run --release --bin fig4_fa_lowend`); this bench tracks the
+//! simulator's wall-clock throughput on each cell.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csmt_core::ArchKind;
+use csmt_workloads::{all_apps, simulate};
+use std::hint::black_box;
+use std::time::Duration;
+
+const SCALE: f64 = 0.1;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_fa_lowend");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for app in all_apps() {
+        for arch in ArchKind::FA_FIGURES {
+            g.bench_function(format!("{}/{}", app.name, arch.name()), |b| {
+                b.iter(|| black_box(simulate(&app, arch, 1, SCALE, 7).cycles))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for Figure 5's sweep: (application × architecture) on
+//! the 4-chip high-end machine. Deterministic cycle counts come from
+//! `cargo run --release --bin fig5_fa_highend`; this tracks simulator
+//! throughput with the DASH directory and 32 threads in play.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csmt_core::ArchKind;
+use csmt_workloads::{all_apps, simulate};
+use std::hint::black_box;
+use std::time::Duration;
+
+const SCALE: f64 = 0.1;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_fa_highend");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for app in all_apps() {
+        for arch in ArchKind::FA_FIGURES {
+            g.bench_function(format!("{}/{}", app.name, arch.name()), |b| {
+                b.iter(|| black_box(simulate(&app, arch, 4, SCALE, 7).cycles))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for Figure 8's sweep: the four SMT variants on the
+//! 4-chip high-end machine. Deterministic cycle counts come from
+//! `cargo run --release --bin fig8_smt_highend`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csmt_core::ArchKind;
+use csmt_workloads::{all_apps, simulate};
+use std::hint::black_box;
+use std::time::Duration;
+
+const SCALE: f64 = 0.1;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_smt_highend");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for app in all_apps() {
+        for arch in ArchKind::SMT_FIGURES {
+            g.bench_function(format!("{}/{}", app.name, arch.name()), |b| {
+                b.iter(|| black_box(simulate(&app, arch, 4, SCALE, 7).cycles))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

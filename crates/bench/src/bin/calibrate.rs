@@ -1,0 +1,34 @@
+//! Calibration probe (not a paper figure): prints each application's
+//! measured Figure 6 coordinates and the raw Figure 4 table so workload
+//! parameters can be tuned against the paper's targets.
+
+use csmt_bench::{render_figure, run_figure};
+use csmt_core::ArchKind;
+use csmt_workloads::{all_apps, simulate};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.3);
+    println!("scale = {scale}\n");
+
+    println!("-- Figure 6 coordinates (low-end) --");
+    println!("{:<8} {:>8} {:>8} {:>10} {:>10}", "app", "threads", "ilp", "fa8_cyc", "fa1_cyc");
+    for app in all_apps() {
+        let fa8 = simulate(&app, ArchKind::Fa8, 1, scale, 1);
+        let fa1 = simulate(&app, ArchKind::Fa1, 1, scale, 1);
+        println!(
+            "{:<8} {:>8.2} {:>8.2} {:>10} {:>10}",
+            app.name,
+            fa8.avg_running_threads,
+            fa1.ipc(),
+            fa8.cycles,
+            fa1.cycles
+        );
+    }
+
+    println!("\n-- Figure 4 (low-end, FA vs SMT2) --");
+    let rows = run_figure(&ArchKind::FA_FIGURES, &all_apps(), 1, ArchKind::Fa8, scale);
+    print!("{}", render_figure("fig4", &rows));
+}

@@ -1,0 +1,29 @@
+//! Diagnostic sweep (not a paper figure): one application across the five
+//! Figure-4 architectures with full memory-system detail — the tool used to
+//! calibrate the workload models against the paper's hazard profiles.
+//!
+//! Usage: `diagnose [app] [scale] [chips]` (defaults: vpenta, 0.3, 1).
+use csmt_core::ArchKind;
+use csmt_workloads::{by_name, simulate};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let app_name = args.next().unwrap_or_else(|| "vpenta".into());
+    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.3);
+    let chips: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let app = by_name(&app_name).expect("unknown application");
+    for arch in [ArchKind::Fa8, ArchKind::Fa4, ArchKind::Fa2, ArchKind::Fa1, ArchKind::Smt2] {
+        let r = simulate(&app, arch, chips, scale, 1);
+        let b = r.breakdown();
+        println!(
+            "{:<5} cycles={:>8} ipc={:.2} useful={:.1}% mem={:.1}% data={:.1}% sync={:.1}% fetch={:.1}% struct={:.1}%",
+            arch.name(), r.cycles, r.ipc(), b[0]*100.0, b[3]*100.0, b[4]*100.0, b[6]*100.0, b[7]*100.0, b[2]*100.0
+        );
+        let m = &r.mem;
+        println!(
+            "      acc={} l1={} l2={} locmem={} merges={} tlb={} wb={} contention={} (per-acc {:.1})",
+            m.accesses, m.l1_hits, m.l2_hits, m.local_mem, m.mshr_merges, m.tlb_misses, m.writebacks,
+            m.contention_wait, m.contention_wait as f64 / m.accesses.max(1) as f64
+        );
+    }
+}

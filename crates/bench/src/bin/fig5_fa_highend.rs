@@ -1,0 +1,38 @@
+//! Figure 5: FA processors vs the clustered SMT2 on the high-end machine —
+//! four chips on a DASH-like CC-NUMA (Figure 3), so FA8/SMT2 run 32
+//! threads, FA4 16, FA2 8, FA1 4. Normalized to FA8 = 100.
+//!
+//! Paper shape to verify: for the least parallel applications (swim,
+//! tomcatv, mgrid) the FA sweet spot moves toward wide issue (FA1); for
+//! highly parallel ones (vpenta) FA1 gets relatively worse; SMT2 has the
+//! lowest execution time and the most stable performance.
+
+use csmt_bench::{render_figure, run_figure, write_json, FIGURE_SCALE};
+use csmt_core::ArchKind;
+use csmt_workloads::all_apps;
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(FIGURE_SCALE);
+    let rows = run_figure(&ArchKind::FA_FIGURES, &all_apps(), 4, ArchKind::Fa8, scale);
+    if let Some(p) = write_json(&rows, "fig5") {
+        eprintln!("wrote {}", p.display());
+    }
+    print!("{}", render_figure("Figure 5 — FA vs clustered SMT, high-end machine (4 chips, normalized to FA8)", &rows));
+    for row in &rows {
+        let best_fa = row
+            .cells
+            .iter()
+            .filter(|c| c.arch != ArchKind::Smt2)
+            .min_by(|a, b| a.normalized.partial_cmp(&b.normalized).unwrap())
+            .unwrap();
+        let smt2 = row.cell(ArchKind::Smt2);
+        println!(
+            "{:<8} best FA = {} ({:.0}), SMT2 = {:.0}  ({:+.1}% vs best FA)",
+            row.app,
+            best_fa.arch.name(),
+            best_fa.normalized,
+            smt2.normalized,
+            100.0 * (smt2.normalized - best_fa.normalized) / best_fa.normalized,
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Figure 6: ILP versus thread parallelism for the six applications,
+//! measured exactly as the paper does — thread parallelism as the average
+//! number of running threads on FA8 (the architecture enabling the most
+//! thread parallelism), ILP as the average IPC on FA1 (the architecture
+//! enabling the most ILP) — for the low-end (a) and high-end (b) machines.
+//!
+//! The analytic model (§2) is consulted for each measured point: which
+//! architecture the model predicts best, versus which the simulator found
+//! best, closing the loop of the paper's §5.1.1.
+
+use csmt_bench::FIGURE_SEED;
+use csmt_core::ArchKind;
+use csmt_model::{AppPoint, ArchModel};
+use csmt_workloads::{all_apps, simulate};
+
+fn measure(n_chips: usize, scale: f64) {
+    println!(
+        "{:<8} {:>8} {:>8}   {:>12} {:>12}",
+        "app", "threads", "ilp", "model best", "sim best FA"
+    );
+    for app in all_apps() {
+        let fa8 = simulate(&app, ArchKind::Fa8, n_chips, scale, FIGURE_SEED);
+        let fa1 = simulate(&app, ArchKind::Fa1, n_chips, scale, FIGURE_SEED);
+        // Per-chip averages, as the paper plots single-processor charts.
+        let threads = (fa8.avg_running_threads / n_chips as f64).max(0.05);
+        let ilp = (fa1.ipc() / n_chips as f64).max(0.05);
+        let point = AppPoint::new(threads, ilp);
+        let fas = [
+            ArchModel::Fa { clusters: 8 },
+            ArchModel::Fa { clusters: 4 },
+            ArchModel::Fa { clusters: 2 },
+            ArchModel::Fa { clusters: 1 },
+        ];
+        let model_best = csmt_model::ranking(&fas, point)[0].0.name();
+        // Simulated best FA.
+        let mut best = (ArchKind::Fa8, u64::MAX);
+        for arch in [ArchKind::Fa8, ArchKind::Fa4, ArchKind::Fa2, ArchKind::Fa1] {
+            let r = simulate(&app, arch, n_chips, scale, FIGURE_SEED);
+            if r.cycles < best.1 {
+                best = (arch, r.cycles);
+            }
+        }
+        println!(
+            "{:<8} {:>8.2} {:>8.2}   {:>12} {:>12}",
+            app.name,
+            threads,
+            ilp,
+            model_best,
+            best.0.name()
+        );
+    }
+}
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    println!("== Figure 6(a) — low-end machine ==");
+    measure(1, scale);
+    println!("\n== Figure 6(b) — high-end machine (per-chip averages) ==");
+    measure(4, scale);
+}

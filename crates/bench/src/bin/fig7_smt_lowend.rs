@@ -1,0 +1,34 @@
+//! Figure 7: centralized vs clustered SMT processors on the low-end
+//! machine. SMT8 (= FA8), SMT4, SMT2 and the centralized SMT1, normalized
+//! to SMT8 = 100.
+//!
+//! Paper shape to verify: cycles improve monotonically SMT8 → SMT1; SMT2 is
+//! within 0–9% of SMT1; the fetch hazard grows from SMT4 toward SMT1 (the
+//! shared-queue fetch bottleneck of Tullsen et al.).
+
+use csmt_bench::{fetch_fraction, render_figure, run_figure, write_json, FIGURE_SCALE};
+use csmt_core::ArchKind;
+use csmt_workloads::all_apps;
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(FIGURE_SCALE);
+    let rows = run_figure(&ArchKind::SMT_FIGURES, &all_apps(), 1, ArchKind::Smt8, scale);
+    if let Some(p) = write_json(&rows, "fig7") {
+        eprintln!("wrote {}", p.display());
+    }
+    print!("{}", render_figure("Figure 7 — centralized vs clustered SMT, low-end machine (normalized to SMT8)", &rows));
+    for row in &rows {
+        let smt1 = row.cell(ArchKind::Smt1);
+        let smt2 = row.cell(ArchKind::Smt2);
+        println!(
+            "{:<8} SMT2 = {:.0} vs SMT1 = {:.0} ({:+.1}%)  fetch: SMT4 {:.1}% → SMT2 {:.1}% → SMT1 {:.1}%",
+            row.app,
+            smt2.normalized,
+            smt1.normalized,
+            100.0 * (smt2.normalized - smt1.normalized) / smt1.normalized,
+            fetch_fraction(row.cell(ArchKind::Smt4)) * 100.0,
+            fetch_fraction(smt2) * 100.0,
+            fetch_fraction(smt1) * 100.0,
+        );
+    }
+}

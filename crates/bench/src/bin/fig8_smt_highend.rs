@@ -1,0 +1,31 @@
+//! Figure 8: centralized vs clustered SMT processors on the high-end
+//! machine (4 chips, 32 threads for every SMT variant), normalized to
+//! SMT8 = 100.
+//!
+//! Paper shape to verify: same conclusions as Figure 7 — SMT2 only slightly
+//! slower than SMT1 in cycles, which the §5.2 clock-frequency argument then
+//! turns into a decisive SMT2 win.
+
+use csmt_bench::{render_figure, run_figure, write_json, FIGURE_SCALE};
+use csmt_core::ArchKind;
+use csmt_workloads::all_apps;
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(FIGURE_SCALE);
+    let rows = run_figure(&ArchKind::SMT_FIGURES, &all_apps(), 4, ArchKind::Smt8, scale);
+    if let Some(p) = write_json(&rows, "fig8") {
+        eprintln!("wrote {}", p.display());
+    }
+    print!("{}", render_figure("Figure 8 — centralized vs clustered SMT, high-end machine (4 chips, normalized to SMT8)", &rows));
+    for row in &rows {
+        let smt1 = row.cell(ArchKind::Smt1);
+        let smt2 = row.cell(ArchKind::Smt2);
+        println!(
+            "{:<8} SMT2 = {:.0} vs SMT1 = {:.0} ({:+.1}%)",
+            row.app,
+            smt2.normalized,
+            smt1.normalized,
+            100.0 * (smt2.normalized - smt1.normalized) / smt1.normalized,
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! # csmt-bench — figure/table regeneration harness
+//!
+//! Shared plumbing for the `fig*` binaries and criterion benches: running
+//! one figure's sweep (architectures × applications), normalizing to the
+//! paper's baseline, rendering the stacked-bar breakdowns as text tables,
+//! and applying the §5.2 clock-frequency adjustment.
+
+use csmt_core::{ArchKind, RunResult};
+use csmt_cpu::Hazard;
+use csmt_workloads::{simulate, AppSpec};
+use serde::Serialize;
+
+/// Work scale used by the figure binaries (full figure quality).
+pub const FIGURE_SCALE: f64 = 1.0;
+/// Seed used by all figure runs.
+pub const FIGURE_SEED: u64 = 0xC5_317;
+
+/// One figure cell: an application simulated on one architecture.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Architecture simulated.
+    pub arch: ArchKind,
+    /// Full run statistics.
+    pub result: RunResult,
+    /// Execution time normalized to the figure's baseline (=100).
+    pub normalized: f64,
+}
+
+/// All architectures of one figure for one application.
+#[derive(Debug, Clone)]
+pub struct AppRow {
+    /// Application name.
+    pub app: &'static str,
+    /// One cell per architecture, in figure order.
+    pub cells: Vec<Cell>,
+}
+
+impl AppRow {
+    /// The architecture with the lowest cycle count.
+    pub fn best(&self) -> &Cell {
+        self.cells
+            .iter()
+            .min_by_key(|c| c.result.cycles)
+            .expect("non-empty row")
+    }
+
+    /// Cell for a given architecture.
+    pub fn cell(&self, arch: ArchKind) -> &Cell {
+        self.cells.iter().find(|c| c.arch == arch).expect("arch in row")
+    }
+}
+
+/// Run one figure: `archs` × `apps` on `n_chips` chips, normalizing each
+/// application to `baseline` (FA8 for Figs 4/5, SMT8 for Figs 7/8).
+/// Runs cells in parallel across OS threads (each simulation is
+/// independent and deterministic).
+pub fn run_figure(
+    archs: &[ArchKind],
+    apps: &[AppSpec],
+    n_chips: usize,
+    baseline: ArchKind,
+    scale: f64,
+) -> Vec<AppRow> {
+    use std::thread;
+    let rows: Vec<AppRow> = thread::scope(|s| {
+        let handles: Vec<_> = apps
+            .iter()
+            .map(|app| {
+                let archs = archs.to_vec();
+                s.spawn(move || {
+                    let results: Vec<(ArchKind, RunResult)> = archs
+                        .iter()
+                        .map(|&a| (a, simulate(app, a, n_chips, scale, FIGURE_SEED)))
+                        .collect();
+                    let base_cycles = results
+                        .iter()
+                        .find(|(a, _)| *a == baseline)
+                        .map(|(_, r)| r.cycles)
+                        .expect("baseline in archs");
+                    AppRow {
+                        app: app.name,
+                        cells: results
+                            .into_iter()
+                            .map(|(arch, result)| Cell {
+                                arch,
+                                normalized: 100.0 * result.cycles as f64 / base_cycles as f64,
+                                result,
+                            })
+                            .collect(),
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sim thread")).collect()
+    });
+    rows
+}
+
+/// §5.2 clock-frequency adjustment. Palacharla & Jouppi [12]: an 8-issue
+/// cluster's cycle time is ~2× a 4-issue cluster's at 0.18 µm, while 4-issue
+/// and narrower clusters cycle alike. Returns the relative cycle-time factor
+/// (1.0 = fast clock).
+pub fn cycle_time_factor(arch: ArchKind) -> f64 {
+    match arch.chip().cluster.issue_width {
+        8 => 2.0,
+        _ => 1.0,
+    }
+}
+
+/// Wall-clock-equivalent time: cycles × cycle-time factor.
+pub fn adjusted_time(cell: &Cell) -> f64 {
+    cell.result.cycles as f64 * cycle_time_factor(cell.arch)
+}
+
+/// Render one figure as the paper prints it: normalized execution time with
+/// the §4.1 breakdown per bar.
+pub fn render_figure(title: &str, rows: &[AppRow]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let _ = writeln!(
+        out,
+        "{:<8} {:<6} {:>6}  {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "app", "arch", "norm", "useful", "other", "struct", "mem", "data", "ctrl", "sync", "fetch"
+    );
+    for row in rows {
+        for cell in &row.cells {
+            let b = cell.result.breakdown();
+            let _ = writeln!(
+                out,
+                "{:<8} {:<6} {:>6.0}  {:>5.1}% {:>5.1}% {:>5.1}% {:>5.1}% {:>5.1}% {:>5.1}% {:>5.1}% {:>5.1}%",
+                row.app,
+                cell.arch.name(),
+                cell.normalized,
+                b[0] * 100.0,
+                b[1] * 100.0,
+                b[2] * 100.0,
+                b[3] * 100.0,
+                b[4] * 100.0,
+                b[5] * 100.0,
+                b[6] * 100.0,
+                b[7] * 100.0,
+            );
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Flat, serializable view of one figure cell (for `CSMT_JSON_DIR` dumps).
+#[derive(Debug, Serialize)]
+pub struct FlatCell {
+    /// Application name.
+    pub app: String,
+    /// Architecture name.
+    pub arch: String,
+    /// Execution time in cycles.
+    pub cycles: u64,
+    /// Normalized to the figure's baseline (=100).
+    pub normalized: f64,
+    /// Useful IPC.
+    pub ipc: f64,
+    /// Slot breakdown `[useful, other, structural, memory, data, control, sync, fetch]`.
+    pub breakdown: [f64; 8],
+    /// Average running threads.
+    pub avg_running_threads: f64,
+    /// Branch misprediction rate.
+    pub mispredict_rate: f64,
+}
+
+/// If the `CSMT_JSON_DIR` environment variable is set, write the figure's
+/// cells as `<dir>/<name>.json` for external plotting. Returns the path
+/// written, if any.
+pub fn write_json(rows: &[AppRow], name: &str) -> Option<std::path::PathBuf> {
+    let dir = std::env::var_os("CSMT_JSON_DIR")?;
+    let flat: Vec<FlatCell> = rows
+        .iter()
+        .flat_map(|row| {
+            row.cells.iter().map(move |c| FlatCell {
+                app: row.app.to_string(),
+                arch: c.arch.name().to_string(),
+                cycles: c.result.cycles,
+                normalized: c.normalized,
+                ipc: c.result.ipc(),
+                breakdown: c.result.breakdown(),
+                avg_running_threads: c.result.avg_running_threads,
+                mispredict_rate: c.result.mispredict_rate(),
+            })
+        })
+        .collect();
+    let path = std::path::Path::new(&dir).join(format!("{name}.json"));
+    let body = serde_json::to_string_pretty(&flat).expect("serializable");
+    std::fs::write(&path, body).expect("CSMT_JSON_DIR must be writable");
+    Some(path)
+}
+
+/// Average, over applications, of a per-row metric.
+pub fn mean_over_rows(rows: &[AppRow], f: impl Fn(&AppRow) -> f64) -> f64 {
+    rows.iter().map(f).sum::<f64>() / rows.len() as f64
+}
+
+/// The sync-hazard fraction of one cell (used by trend assertions).
+pub fn sync_fraction(c: &Cell) -> f64 {
+    c.result.hazard_fraction(Hazard::Sync)
+}
+
+/// The fetch-hazard fraction of one cell.
+pub fn fetch_fraction(c: &Cell) -> f64 {
+    c.result.hazard_fraction(Hazard::Fetch)
+}
+
+/// Data+memory hazard fraction of one cell.
+pub fn data_mem_fraction(c: &Cell) -> f64 {
+    c.result.hazard_fraction(Hazard::Data) + c.result.hazard_fraction(Hazard::Memory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csmt_workloads::by_name;
+
+    #[test]
+    fn run_figure_normalizes_baseline_to_100() {
+        let apps = vec![by_name("vpenta").unwrap()];
+        let rows = run_figure(&[ArchKind::Fa8, ArchKind::Smt2], &apps, 1, ArchKind::Fa8, 0.02);
+        let base = rows[0].cell(ArchKind::Fa8);
+        assert!((base.normalized - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycle_time_factors_follow_palacharla_jouppi() {
+        assert_eq!(cycle_time_factor(ArchKind::Fa1), 2.0);
+        assert_eq!(cycle_time_factor(ArchKind::Smt1), 2.0);
+        assert_eq!(cycle_time_factor(ArchKind::Smt2), 1.0);
+        assert_eq!(cycle_time_factor(ArchKind::Fa8), 1.0);
+    }
+
+    #[test]
+    fn write_json_respects_env_and_roundtrips() {
+        let apps = vec![by_name("vpenta").unwrap()];
+        let rows = run_figure(&[ArchKind::Fa8], &apps, 1, ArchKind::Fa8, 0.02);
+        // Without the env var: no write.
+        std::env::remove_var("CSMT_JSON_DIR");
+        assert!(write_json(&rows, "test_fig").is_none());
+        // With it: file appears and parses.
+        let dir = std::env::temp_dir().join("csmt_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("CSMT_JSON_DIR", &dir);
+        let path = write_json(&rows, "test_fig").expect("written");
+        std::env::remove_var("CSMT_JSON_DIR");
+        let body = std::fs::read_to_string(path).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(parsed.as_array().unwrap().len(), 1);
+        assert_eq!(parsed[0]["arch"], "FA8");
+    }
+
+    #[test]
+    fn render_produces_a_row_per_arch() {
+        let apps = vec![by_name("mgrid").unwrap()];
+        let rows = run_figure(&[ArchKind::Fa8, ArchKind::Fa4], &apps, 1, ArchKind::Fa8, 0.02);
+        let text = render_figure("test", &rows);
+        assert!(text.contains("FA8"));
+        assert!(text.contains("FA4"));
+        assert!(text.contains("mgrid"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Chip-level architecture configurations (paper Table 2).
+//!
+//! | Type | Clusters × IPC | Threads/cluster [chip] |
+//! |------|----------------|------------------------|
+//! | FA8  | 8 × 1          | 1 [8]                  |
+//! | FA4  | 4 × 2          | 1 [4]                  |
+//! | FA2  | 2 × 4          | 1 [2]                  |
+//! | FA1  | 1 × 8          | 1 [1]                  |
+//! | SMT4 | 4 × 2          | 2 [8]                  |
+//! | SMT2 | 2 × 4          | 4 [8]                  |
+//! | SMT1 | 1 × 8          | 8 [8]                  |
+//!
+//! `SMT8` is "a special case of the clustered SMT processor in that it is
+//! the same as the FA8 processor" (§5.2) — we expose it as an alias.
+
+use csmt_cpu::ClusterConfig;
+
+/// The seven architectures of Table 2 (plus the SMT8 alias of FA8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArchKind {
+    /// Eight 1-issue single-threaded clusters.
+    Fa8,
+    /// Four 2-issue single-threaded clusters.
+    Fa4,
+    /// Two 4-issue single-threaded clusters.
+    Fa2,
+    /// One 8-issue conventional superscalar.
+    Fa1,
+    /// Eight 1-issue single-thread SMT clusters (alias of FA8).
+    Smt8,
+    /// Four 2-issue clusters, 2 threads each.
+    Smt4,
+    /// Two 4-issue clusters, 4 threads each — the paper's headline design.
+    Smt2,
+    /// One centralized 8-issue SMT, 8 threads.
+    Smt1,
+}
+
+impl ArchKind {
+    /// The five architectures compared in Figures 4 and 5.
+    pub const FA_FIGURES: [ArchKind; 5] =
+        [ArchKind::Fa8, ArchKind::Fa4, ArchKind::Fa2, ArchKind::Fa1, ArchKind::Smt2];
+
+    /// The four architectures compared in Figures 7 and 8.
+    pub const SMT_FIGURES: [ArchKind; 4] =
+        [ArchKind::Smt8, ArchKind::Smt4, ArchKind::Smt2, ArchKind::Smt1];
+
+    /// All distinct configurations.
+    pub const ALL: [ArchKind; 8] = [
+        ArchKind::Fa8,
+        ArchKind::Fa4,
+        ArchKind::Fa2,
+        ArchKind::Fa1,
+        ArchKind::Smt8,
+        ArchKind::Smt4,
+        ArchKind::Smt2,
+        ArchKind::Smt1,
+    ];
+
+    /// Display name as used in the paper's charts.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArchKind::Fa8 => "FA8",
+            ArchKind::Fa4 => "FA4",
+            ArchKind::Fa2 => "FA2",
+            ArchKind::Fa1 => "FA1",
+            ArchKind::Smt8 => "SMT8",
+            ArchKind::Smt4 => "SMT4",
+            ArchKind::Smt2 => "SMT2",
+            ArchKind::Smt1 => "SMT1",
+        }
+    }
+
+    /// The chip configuration for this architecture.
+    pub fn chip(self) -> ChipConfig {
+        match self {
+            ArchKind::Fa8 => ChipConfig::fixed_assignment(self, 8),
+            ArchKind::Fa4 => ChipConfig::fixed_assignment(self, 4),
+            ArchKind::Fa2 => ChipConfig::fixed_assignment(self, 2),
+            ArchKind::Fa1 => ChipConfig::fixed_assignment(self, 1),
+            ArchKind::Smt8 => ChipConfig::clustered_smt(self, 8),
+            ArchKind::Smt4 => ChipConfig::clustered_smt(self, 4),
+            ArchKind::Smt2 => ChipConfig::clustered_smt(self, 2),
+            ArchKind::Smt1 => ChipConfig::clustered_smt(self, 1),
+        }
+    }
+}
+
+/// A chip: `clusters` identical SMT clusters sharing the chip's L1/L2
+/// through the memory system, nothing else (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChipConfig {
+    /// Which Table 2 row this is.
+    pub kind: ArchKind,
+    /// Number of clusters on the chip.
+    pub clusters: usize,
+    /// Per-cluster budget.
+    pub cluster: ClusterConfig,
+}
+
+/// Total chip issue width in every Table 2 configuration.
+pub const CHIP_ISSUE_WIDTH: usize = 8;
+
+impl ChipConfig {
+    /// A fixed-assignment chip: `n` clusters of width `8/n`, one thread per
+    /// cluster.
+    pub fn fixed_assignment(kind: ArchKind, n: usize) -> Self {
+        assert!(CHIP_ISSUE_WIDTH.is_multiple_of(n));
+        let width = CHIP_ISSUE_WIDTH / n;
+        ChipConfig { kind, clusters: n, cluster: ClusterConfig::for_width(width, 1) }
+    }
+
+    /// A clustered SMT chip: `n` clusters of width `8/n`, each supporting
+    /// `8/n` threads, for 8 threads per chip.
+    pub fn clustered_smt(kind: ArchKind, n: usize) -> Self {
+        assert!(CHIP_ISSUE_WIDTH.is_multiple_of(n));
+        let width = CHIP_ISSUE_WIDTH / n;
+        ChipConfig { kind, clusters: n, cluster: ClusterConfig::for_width(width, width) }
+    }
+
+    /// Hardware thread contexts on the whole chip (Table 2's bracketed
+    /// "[chip]" column).
+    pub fn threads_per_chip(&self) -> usize {
+        self.clusters * self.cluster.hw_threads
+    }
+
+    /// Issue slots per cycle across the chip.
+    pub fn chip_issue_width(&self) -> usize {
+        self.clusters * self.cluster.issue_width
+    }
+
+    /// The same chip with a different per-cluster fetch policy (for the
+    /// Tullsen fetch-bottleneck ablation).
+    pub fn with_fetch_policy(mut self, policy: csmt_cpu::FetchPolicy) -> Self {
+        self.cluster = self.cluster.with_fetch_policy(policy);
+        self
+    }
+
+    /// The same chip with a different branch predictor (predictor ablation).
+    pub fn with_predictor(mut self, predictor: csmt_cpu::PredictorKind) -> Self {
+        self.cluster = self.cluster.with_predictor(predictor);
+        self
+    }
+
+    /// The same chip with an arbitrary per-cluster tweak.
+    pub fn with_cluster(mut self, f: impl FnOnce(ClusterConfig) -> ClusterConfig) -> Self {
+        self.cluster = f(self.cluster);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One Table 2 row: (kind, clusters, ipc/cluster, threads/chip,
+    /// FUs/cluster, IQ+ROB/cluster, rename regs/cluster).
+    type Table2Row = (ArchKind, usize, usize, usize, [usize; 3], usize, usize);
+
+    /// Table 2, every row and column.
+    #[test]
+    fn table2_chip_rows() {
+        let rows: [Table2Row; 7] = [
+            // kind, clusters, ipc/cluster, threads/chip, FUs/cluster, IQ+ROB/cluster, rename/cluster
+            (ArchKind::Fa8, 8, 1, 8, [1, 1, 1], 16, 16),
+            (ArchKind::Fa4, 4, 2, 4, [2, 2, 2], 32, 32),
+            (ArchKind::Fa2, 2, 4, 2, [4, 4, 4], 64, 64),
+            (ArchKind::Fa1, 1, 8, 1, [6, 4, 4], 128, 128),
+            (ArchKind::Smt4, 4, 2, 8, [2, 2, 2], 32, 32),
+            (ArchKind::Smt2, 2, 4, 8, [4, 4, 4], 64, 64),
+            (ArchKind::Smt1, 1, 8, 8, [6, 4, 4], 128, 128),
+        ];
+        for (kind, clusters, ipc, threads, fus, iq, ren) in rows {
+            let c = kind.chip();
+            assert_eq!(c.clusters, clusters, "{kind:?}");
+            assert_eq!(c.cluster.issue_width, ipc, "{kind:?}");
+            assert_eq!(c.threads_per_chip(), threads, "{kind:?}");
+            assert_eq!(c.cluster.fu_counts, fus, "{kind:?}");
+            assert_eq!(c.cluster.window_entries, iq, "{kind:?}");
+            assert_eq!(c.cluster.rename_int, ren, "{kind:?}");
+            assert_eq!(c.cluster.rename_fp, ren, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn smt8_is_fa8_in_hardware() {
+        let a = ArchKind::Smt8.chip();
+        let b = ArchKind::Fa8.chip();
+        assert_eq!(a.clusters, b.clusters);
+        assert_eq!(a.cluster, b.cluster);
+    }
+
+    #[test]
+    fn every_chip_issues_eight_wide() {
+        for kind in ArchKind::ALL {
+            assert_eq!(kind.chip().chip_issue_width(), 8, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn chip_window_totals_128_everywhere() {
+        for kind in ArchKind::ALL {
+            let c = kind.chip();
+            assert_eq!(c.clusters * c.cluster.window_entries, 128, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn figure_sets_are_subsets_of_all() {
+        for k in ArchKind::FA_FIGURES.iter().chain(&ArchKind::SMT_FIGURES) {
+            assert!(ArchKind::ALL.contains(k));
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! Whole-machine simulation driver.
+//!
+//! A [`Machine`] is one or more chips (each a set of clusters per
+//! [`crate::configs::ChipConfig`]) over a shared [`MemorySystem`], plus the
+//! parallel [`Runtime`]. The low-end machine of the paper is `chips = 1`
+//! ("a simple workstation"); the high-end machine is `chips = 4` (the
+//! DASH-like CC-NUMA of Figure 3).
+//!
+//! Software threads are attached in order and assigned round-robin across a
+//! chip's clusters (thread *i* on chip `i / threads_per_chip`, cluster
+//! `i % clusters` of that chip), which spreads work the way an OS scheduler
+//! would.
+
+use crate::configs::ChipConfig;
+use crate::result::RunResult;
+use crate::runtime::{Action, Runtime, ThreadId};
+use csmt_cpu::{Cluster, ClusterEvent, ThreadState};
+use csmt_isa::InstStream;
+use csmt_mem::{MemConfig, MemorySystem};
+
+/// Where a software thread lives: (chip, cluster-in-chip, context-in-cluster).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Chip (= memory-system node) index.
+    pub chip: usize,
+    /// Cluster index within the chip.
+    pub cluster: usize,
+    /// Hardware context within the cluster.
+    pub ctx: usize,
+}
+
+/// One chip: its clusters. The chip's L1/L2 live in the shared
+/// [`MemorySystem`] under the chip's node index.
+struct Chip {
+    clusters: Vec<Cluster>,
+}
+
+/// A complete machine ready to run a multithreaded application.
+pub struct Machine {
+    cfg: ChipConfig,
+    chips: Vec<Chip>,
+    mem: MemorySystem,
+    runtime: Runtime,
+    placements: Vec<Placement>,
+    cycle: u64,
+    /// Σ over cycles of the number of threads making progress (Fig 6).
+    running_thread_cycles: u64,
+    events_buf: Vec<ClusterEvent>,
+    actions_buf: Vec<Action>,
+}
+
+impl Machine {
+    /// Build a machine of `n_chips` chips of configuration `cfg` with the
+    /// given memory hierarchy. `seed` controls all stochastic state.
+    pub fn new(cfg: ChipConfig, n_chips: usize, mem_cfg: MemConfig, seed: u64) -> Self {
+        assert!(n_chips >= 1);
+        let mut rng = csmt_isa::SplitMix64::new(seed);
+        let chips = (0..n_chips)
+            .map(|c| Chip {
+                clusters: (0..cfg.clusters)
+                    .map(|k| Cluster::new(cfg.cluster, rng.fork((c * 64 + k) as u64).next_u64()))
+                    .collect(),
+            })
+            .collect();
+        Machine {
+            cfg,
+            chips,
+            mem: MemorySystem::new(mem_cfg, n_chips, rng.fork(u64::MAX).next_u64()),
+            runtime: Runtime::new(0),
+            placements: Vec::new(),
+            cycle: 0,
+            running_thread_cycles: 0,
+            events_buf: Vec::new(),
+            actions_buf: Vec::new(),
+        }
+    }
+
+    /// Total hardware thread contexts in the machine — the thread count the
+    /// paper creates for each configuration ("we generate as many threads as
+    /// are required by the processor", §4).
+    pub fn hw_thread_capacity(&self) -> usize {
+        self.chips.len() * self.cfg.threads_per_chip()
+    }
+
+    /// Placement of software thread `tid` under the round-robin policy.
+    pub fn placement_of(&self, tid: ThreadId) -> Placement {
+        let per_chip = self.cfg.threads_per_chip();
+        let chip = tid / per_chip;
+        let within = tid % per_chip;
+        let cluster = within % self.cfg.clusters;
+        let ctx = within / self.cfg.clusters;
+        Placement { chip, cluster, ctx }
+    }
+
+    /// Attach the application's software threads (one stream per thread).
+    /// Must be called exactly once, with at most `hw_thread_capacity()`
+    /// threads.
+    pub fn attach_threads(&mut self, streams: Vec<Box<dyn InstStream + Send>>) {
+        let n = streams.len();
+        self.attach_threads_grouped(streams.into_iter().map(|s| (s, 0)).collect());
+        debug_assert_eq!(self.placements.len(), n);
+    }
+
+    /// Attach a multiprogrammed mix: each stream carries its program-group
+    /// id; barriers and locks are scoped within a group (independent
+    /// programs never synchronize with each other).
+    pub fn attach_threads_grouped(
+        &mut self,
+        streams: Vec<(Box<dyn InstStream + Send>, usize)>,
+    ) {
+        assert!(self.placements.is_empty(), "threads already attached");
+        assert!(!streams.is_empty());
+        assert!(
+            streams.len() <= self.hw_thread_capacity(),
+            "{} threads exceed {} contexts",
+            streams.len(),
+            self.hw_thread_capacity()
+        );
+        self.runtime = Runtime::with_groups(streams.iter().map(|(_, g)| *g).collect());
+        for (tid, (s, _)) in streams.into_iter().enumerate() {
+            let p = self.placement_of(tid);
+            self.chips[p.chip].clusters[p.cluster].attach_thread(p.ctx, s);
+            self.placements.push(p);
+        }
+    }
+
+    fn tid_at(&self, chip: usize, cluster: usize, ctx: usize) -> Option<ThreadId> {
+        // Inverse of placement_of; placements are dense so recompute.
+        let per_chip = self.cfg.threads_per_chip();
+        let tid = chip * per_chip + ctx * self.cfg.clusters + cluster;
+        (tid < self.placements.len()).then_some(tid)
+    }
+
+    /// Advance one cycle.
+    pub fn step(&mut self) {
+        let now = self.cycle;
+        for chip_idx in 0..self.chips.len() {
+            for cluster_idx in 0..self.chips[chip_idx].clusters.len() {
+                self.events_buf.clear();
+                self.chips[chip_idx].clusters[cluster_idx].step(
+                    now,
+                    &mut self.mem,
+                    chip_idx,
+                    &mut self.events_buf,
+                );
+                for k in 0..self.events_buf.len() {
+                    let ev = self.events_buf[k];
+                    let (ctx, is_done, op) = match ev {
+                        ClusterEvent::SyncReached { thread, op } => (thread, false, Some(op)),
+                        ClusterEvent::ThreadDone { thread } => (thread, true, None),
+                    };
+                    let tid = self
+                        .tid_at(chip_idx, cluster_idx, ctx)
+                        .expect("event from unattached context");
+                    self.actions_buf.clear();
+                    if is_done {
+                        self.runtime.thread_done(tid, &mut self.actions_buf);
+                    } else {
+                        self.runtime.sync_reached(tid, op.expect("sync"), &mut self.actions_buf);
+                    }
+                    for a in 0..self.actions_buf.len() {
+                        let Action::Resume(t) = self.actions_buf[a];
+                        let p = self.placements[t];
+                        self.chips[p.chip].clusters[p.cluster].resume_thread(p.ctx);
+                    }
+                }
+            }
+        }
+        let running: usize = self
+            .chips
+            .iter()
+            .flat_map(|c| c.clusters.iter())
+            .map(|cl| cl.running_threads())
+            .sum();
+        self.running_thread_cycles += running as u64;
+        self.cycle += 1;
+    }
+
+    /// True while any thread still has work.
+    pub fn busy(&self) -> bool {
+        !self.runtime.all_done()
+            || self.chips.iter().any(|c| c.clusters.iter().any(|cl| cl.busy()))
+    }
+
+    /// Run to completion (or `max_cycles`), returning the collected result.
+    /// Panics if the limit is hit — a limit hit means a deadlocked workload,
+    /// which is a bug, not a datapoint.
+    pub fn run(&mut self, max_cycles: u64) -> RunResult {
+        assert!(!self.placements.is_empty(), "attach_threads first");
+        while self.busy() {
+            assert!(
+                self.cycle < max_cycles,
+                "simulation exceeded {max_cycles} cycles (deadlock?)"
+            );
+            self.step();
+        }
+        self.result()
+    }
+
+    /// Snapshot the result so far (also valid mid-run).
+    pub fn result(&self) -> RunResult {
+        let mut slots = csmt_cpu::SlotStats::default();
+        for c in &self.chips {
+            for cl in &c.clusters {
+                slots.merge(cl.stats());
+            }
+        }
+        let mut mispredicts = 0;
+        let mut lookups = 0;
+        for c in &self.chips {
+            for cl in &c.clusters {
+                let (l, m) = cl.bpred_stats();
+                lookups += l;
+                mispredicts += m;
+            }
+        }
+        let (barriers, lock_acqs) = self.runtime.stats();
+        RunResult {
+            arch: self.cfg.kind.name().to_string(),
+            chips: self.chips.len(),
+            threads: self.placements.len(),
+            cycles: self.cycle,
+            slots,
+            mem: self.mem.stats(),
+            avg_running_threads: if self.cycle == 0 {
+                0.0
+            } else {
+                self.running_thread_cycles as f64 / self.cycle as f64
+            },
+            branch_lookups: lookups,
+            branch_mispredicts: mispredicts,
+            barrier_episodes: barriers,
+            lock_acquisitions: lock_acqs,
+        }
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// State of software thread `tid`.
+    pub fn thread_state(&self, tid: ThreadId) -> ThreadState {
+        let p = self.placements[tid];
+        self.chips[p.chip].clusters[p.cluster].thread_state(p.ctx)
+    }
+
+    /// The shared memory system (for inspection in examples/tests).
+    pub fn memory(&self) -> &MemorySystem {
+        &self.mem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::ArchKind;
+    use csmt_isa::stream::VecStream;
+    use csmt_isa::{ArchReg, DynInst, OpClass, SyncOp};
+
+    fn simple_thread(n_ops: u64, barrier_first: bool, addr_base: u64) -> Box<dyn InstStream + Send> {
+        let mut v = Vec::new();
+        if barrier_first {
+            v.push(DynInst::sync(0, SyncOp::Barrier(0)));
+        }
+        for i in 0..n_ops {
+            v.push(DynInst::load(8 + i * 8, ArchReg::Fp(1), addr_base + (i * 8) % 4096, [None, None]));
+            v.push(DynInst::alu(12 + i * 8, OpClass::FpAdd, Some(ArchReg::Fp(2)), [Some(ArchReg::Fp(1)), None]));
+        }
+        v.push(DynInst::sync(4, SyncOp::Barrier(1)));
+        v.push(DynInst::sync(8, SyncOp::Exit));
+        Box::new(VecStream::new(v))
+    }
+
+    #[test]
+    fn placement_round_robins_across_clusters() {
+        let m = Machine::new(ArchKind::Smt2.chip(), 1, MemConfig::table3(), 1);
+        assert_eq!(m.placement_of(0), Placement { chip: 0, cluster: 0, ctx: 0 });
+        assert_eq!(m.placement_of(1), Placement { chip: 0, cluster: 1, ctx: 0 });
+        assert_eq!(m.placement_of(2), Placement { chip: 0, cluster: 0, ctx: 1 });
+        assert_eq!(m.placement_of(7), Placement { chip: 0, cluster: 1, ctx: 3 });
+    }
+
+    #[test]
+    fn placement_fills_chips_in_order() {
+        let m = Machine::new(ArchKind::Fa2.chip(), 4, MemConfig::table3(), 1);
+        assert_eq!(m.hw_thread_capacity(), 8);
+        assert_eq!(m.placement_of(2), Placement { chip: 1, cluster: 0, ctx: 0 });
+        assert_eq!(m.placement_of(5), Placement { chip: 2, cluster: 1, ctx: 0 });
+    }
+
+    #[test]
+    fn two_threads_run_to_completion_through_a_shared_barrier() {
+        let mut m = Machine::new(ArchKind::Smt2.chip(), 1, MemConfig::table3(), 1);
+        m.attach_threads(vec![simple_thread(50, false, 0), simple_thread(5, false, 65536)]);
+        let r = m.run(1_000_000);
+        assert_eq!(r.threads, 2);
+        assert!(r.cycles > 0);
+        assert_eq!(r.barrier_episodes, 1);
+        // 50-op thread and 5-op thread: the short one waits at barrier 1,
+        // so sync slots must be visible.
+        assert!(r.slots.wasted[csmt_cpu::Hazard::Sync.index()] > 0.0);
+    }
+
+    #[test]
+    fn imbalanced_threads_expose_sync_hazard_growth() {
+        let run_with = |short: u64| {
+            let mut m = Machine::new(ArchKind::Fa8.chip(), 1, MemConfig::table3(), 1);
+            m.attach_threads((0..8).map(|i| simple_thread(if i == 0 { 400 } else { short }, false, i << 16)).collect());
+            m.run(10_000_000)
+        };
+        let balanced = run_with(400);
+        let imbalanced = run_with(10);
+        let sync_frac = |r: &RunResult| r.slots.wasted[csmt_cpu::Hazard::Sync.index()] / r.slots.slots as f64;
+        assert!(
+            sync_frac(&imbalanced) > sync_frac(&balanced) + 0.1,
+            "imbalance must show as sync: {} vs {}",
+            sync_frac(&imbalanced),
+            sync_frac(&balanced)
+        );
+    }
+
+    #[test]
+    fn deterministic_machine_runs() {
+        let run = || {
+            let mut m = Machine::new(ArchKind::Smt4.chip(), 1, MemConfig::table3(), 33);
+            m.attach_threads((0..8).map(|i| simple_thread(60 + i * 3, true, i * 8192)).collect());
+            m.run(10_000_000)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.slots, b.slots);
+        assert_eq!(a.mem, b.mem);
+    }
+
+    #[test]
+    fn multichip_machine_generates_remote_traffic() {
+        let mut m = Machine::new(ArchKind::Fa2.chip(), 4, MemConfig::table3(), 5);
+        // 8 threads, all touching the same shared region ⇒ remote accesses.
+        m.attach_threads((0..8).map(|_| simple_thread(100, false, 0)).collect());
+        let r = m.run(10_000_000);
+        assert!(r.mem.remote_mem + r.mem.remote_l2 > 0, "{:?}", r.mem);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn over_attachment_is_rejected() {
+        let mut m = Machine::new(ArchKind::Fa1.chip(), 1, MemConfig::table3(), 1);
+        m.attach_threads(vec![simple_thread(1, false, 0), simple_thread(1, false, 0)]);
+    }
+}

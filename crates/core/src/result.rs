@@ -1,0 +1,137 @@
+//! Run results: everything a figure needs from one simulation.
+
+use csmt_cpu::{Hazard, SlotStats};
+use csmt_mem::MemStats;
+use serde::Serialize;
+
+/// The outcome of simulating one (architecture, machine size, application)
+/// combination.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunResult {
+    /// Architecture name ("FA8" … "SMT1").
+    pub arch: String,
+    /// Number of chips (1 = low-end, 4 = high-end).
+    pub chips: usize,
+    /// Software threads created.
+    pub threads: usize,
+    /// Execution time in cycles — the paper's y-axis.
+    pub cycles: u64,
+    /// Issue-slot statistics merged over all clusters.
+    #[serde(skip)]
+    pub slots: SlotStats,
+    /// Memory-system statistics.
+    #[serde(skip)]
+    pub mem: MemStats,
+    /// Average number of threads making progress per cycle (Fig 6 x-axis).
+    pub avg_running_threads: f64,
+    /// Branch predictor lookups.
+    pub branch_lookups: u64,
+    /// Branch mispredictions.
+    pub branch_mispredicts: u64,
+    /// Completed barrier episodes.
+    pub barrier_episodes: u64,
+    /// Lock acquisitions granted.
+    pub lock_acquisitions: u64,
+}
+
+impl RunResult {
+    /// Useful instructions committed per cycle across the machine.
+    pub fn ipc(&self) -> f64 {
+        self.slots.ipc()
+    }
+
+    /// Average ILP per running thread (Fig 6 y-axis): committed instructions
+    /// divided by thread-cycles of progress.
+    pub fn ilp_per_thread(&self) -> f64 {
+        let thread_cycles = self.avg_running_threads * self.cycles as f64;
+        if thread_cycles == 0.0 {
+            0.0
+        } else {
+            self.slots.committed as f64 / thread_cycles
+        }
+    }
+
+    /// Slot breakdown as fractions `[useful, other, structural, memory,
+    /// data, control, sync, fetch]`.
+    pub fn breakdown(&self) -> [f64; 8] {
+        self.slots.breakdown()
+    }
+
+    /// Fraction of slots in one hazard class.
+    pub fn hazard_fraction(&self, h: Hazard) -> f64 {
+        if self.slots.slots == 0 {
+            0.0
+        } else {
+            self.slots.wasted[h.index()] / self.slots.slots as f64
+        }
+    }
+
+    /// Execution time normalized to a baseline run (the paper normalizes
+    /// each application's bars to FA8 or SMT8 = 100).
+    pub fn normalized_to(&self, baseline: &RunResult) -> f64 {
+        100.0 * self.cycles as f64 / baseline.cycles as f64
+    }
+
+    /// Branch misprediction rate.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branch_lookups == 0 {
+            0.0
+        } else {
+            self.branch_mispredicts as f64 / self.branch_lookups as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(cycles: u64, committed: u64) -> RunResult {
+        let mut slots = SlotStats { committed, ..Default::default() };
+        for _ in 0..cycles {
+            slots.record_cycle(8, 0, 0, &[0.0; 7]);
+        }
+        slots.cycles = cycles;
+        RunResult {
+            arch: "FA8".into(),
+            chips: 1,
+            threads: 8,
+            cycles,
+            slots,
+            mem: MemStats::default(),
+            avg_running_threads: 4.0,
+            branch_lookups: 100,
+            branch_mispredicts: 7,
+            barrier_episodes: 0,
+            lock_acquisitions: 0,
+        }
+    }
+
+    #[test]
+    fn normalization_is_percent_of_baseline() {
+        let base = dummy(1000, 100);
+        let faster = dummy(870, 100);
+        assert!((faster.normalized_to(&base) - 87.0).abs() < 1e-9);
+        assert!((base.normalized_to(&base) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ilp_per_thread_divides_by_thread_cycles() {
+        let r = dummy(1000, 8000);
+        // 8000 committed over 4.0 * 1000 thread-cycles = 2.0 ILP/thread.
+        assert!((r.ilp_per_thread() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mispredict_rate() {
+        let r = dummy(10, 1);
+        assert!((r.mispredict_rate() - 0.07).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let r = dummy(10, 1);
+        let j = serde_json::to_string(&r);
+        assert!(j.is_err() || j.unwrap().contains("FA8"));
+    }
+}

@@ -1,0 +1,240 @@
+//! Issue-slot accounting (paper §4.1).
+//!
+//! "We gather detailed statistics on an issue slot basis. For each
+//! processor, we scan the entire instruction window every cycle and record
+//! the type of hazard faced by each instruction that is unable to issue. At
+//! the end, the wasted slots are divided proportionally among the different
+//! types of hazards."
+//!
+//! The eight categories are exactly the paper's: `useful` plus the seven
+//! hazard classes of its stacked bars.
+
+/// Hazard categories of §4.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Hazard {
+    /// Lack of functional units (or of issue bandwidth itself).
+    Structural,
+    /// Waiting on a memory access.
+    Memory,
+    /// Waiting on a register data dependence.
+    Data,
+    /// Branch mispredictions: redirect bubbles and stalled wrong-path work.
+    Control,
+    /// Spinning on barriers or locks.
+    Sync,
+    /// No instructions for a thread in the instruction window.
+    Fetch,
+    /// Squashed instructions and rename-register stalls.
+    Other,
+}
+
+impl Hazard {
+    /// All hazards, in the paper's legend order (top to bottom of the bars:
+    /// other, structural, memory, data, control, sync, fetch).
+    pub const ALL: [Hazard; 7] = [
+        Hazard::Other,
+        Hazard::Structural,
+        Hazard::Memory,
+        Hazard::Data,
+        Hazard::Control,
+        Hazard::Sync,
+        Hazard::Fetch,
+    ];
+
+    /// Dense index for array-backed accumulators.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Hazard::Other => 0,
+            Hazard::Structural => 1,
+            Hazard::Memory => 2,
+            Hazard::Data => 3,
+            Hazard::Control => 4,
+            Hazard::Sync => 5,
+            Hazard::Fetch => 6,
+        }
+    }
+
+    /// Lower-case label as used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Hazard::Other => "other",
+            Hazard::Structural => "structural",
+            Hazard::Memory => "memory",
+            Hazard::Data => "data",
+            Hazard::Control => "control",
+            Hazard::Sync => "sync",
+            Hazard::Fetch => "fetch",
+        }
+    }
+}
+
+/// Accumulated slot statistics for one cluster (or one whole machine after
+/// merging). Wasted slots are divided *proportionally* among the hazards
+/// observed in a cycle, so the accumulators are `f64`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SlotStats {
+    /// Slots that issued useful (correct-path) instructions.
+    pub useful: f64,
+    /// Wasted slots by hazard (indexed by [`Hazard::index`]).
+    pub wasted: [f64; 7],
+    /// Total cycles accounted.
+    pub cycles: u64,
+    /// Total issue slots accounted (cycles × width).
+    pub slots: u64,
+    /// Useful instructions committed (architectural work, for IPC).
+    pub committed: u64,
+}
+
+impl SlotStats {
+    /// Record one cycle of `width` slots: `useful` issued correct-path,
+    /// `other_issued` issued wrong-path (charged to `other`), and the rest
+    /// split proportionally over `weights` (indexed by hazard). If all
+    /// weights are zero the residue is charged to `fetch` (an empty window
+    /// with nothing to blame means fetch could not keep up).
+    pub fn record_cycle(
+        &mut self,
+        width: usize,
+        useful: usize,
+        other_issued: usize,
+        weights: &[f64; 7],
+    ) {
+        debug_assert!(useful + other_issued <= width);
+        self.cycles += 1;
+        self.slots += width as u64;
+        self.useful += useful as f64;
+        self.wasted[Hazard::Other.index()] += other_issued as f64;
+        let wasted = (width - useful - other_issued) as f64;
+        if wasted <= 0.0 {
+            return;
+        }
+        let total: f64 = weights.iter().sum();
+        if total > 0.0 {
+            for (acc, w) in self.wasted.iter_mut().zip(weights) {
+                *acc += wasted * w / total;
+            }
+        } else {
+            self.wasted[Hazard::Fetch.index()] += wasted;
+        }
+    }
+
+    /// Merge another cluster's slots into this accumulator. `cycles` is
+    /// taken as the max (clusters advance in lockstep).
+    pub fn merge(&mut self, other: &SlotStats) {
+        self.useful += other.useful;
+        for (a, b) in self.wasted.iter_mut().zip(&other.wasted) {
+            *a += b;
+        }
+        self.cycles = self.cycles.max(other.cycles);
+        self.slots += other.slots;
+        self.committed += other.committed;
+    }
+
+    /// Fraction of all slots in each category, `[useful, other, structural,
+    /// memory, data, control, sync, fetch]`, summing to ~1.
+    pub fn breakdown(&self) -> [f64; 8] {
+        let total = self.slots as f64;
+        if total == 0.0 {
+            return [0.0; 8];
+        }
+        let mut out = [0.0; 8];
+        out[0] = self.useful / total;
+        for h in Hazard::ALL {
+            out[1 + h.index()] = self.wasted[h.index()] / total;
+        }
+        out
+    }
+
+    /// Committed useful instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_indices_are_consistent() {
+        let mut seen = [false; 7];
+        for h in Hazard::ALL {
+            assert!(!seen[h.index()]);
+            seen[h.index()] = true;
+            assert!(!h.label().is_empty());
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn full_issue_cycle_is_all_useful() {
+        let mut s = SlotStats::default();
+        s.record_cycle(4, 4, 0, &[0.0; 7]);
+        assert_eq!(s.useful, 4.0);
+        assert_eq!(s.wasted.iter().sum::<f64>(), 0.0);
+        assert_eq!(s.slots, 4);
+    }
+
+    #[test]
+    fn wasted_slots_divide_proportionally() {
+        let mut s = SlotStats::default();
+        let mut w = [0.0; 7];
+        w[Hazard::Data.index()] = 3.0;
+        w[Hazard::Memory.index()] = 1.0;
+        s.record_cycle(8, 4, 0, &w);
+        assert!((s.wasted[Hazard::Data.index()] - 3.0).abs() < 1e-9);
+        assert!((s.wasted[Hazard::Memory.index()] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrong_path_issue_charges_other() {
+        let mut s = SlotStats::default();
+        s.record_cycle(4, 1, 2, &[0.0; 7]);
+        assert_eq!(s.useful, 1.0);
+        assert_eq!(s.wasted[Hazard::Other.index()], 2.0);
+        // The remaining slot with no weights goes to fetch.
+        assert_eq!(s.wasted[Hazard::Fetch.index()], 1.0);
+    }
+
+    #[test]
+    fn breakdown_sums_to_one() {
+        let mut s = SlotStats::default();
+        let mut w = [0.0; 7];
+        w[Hazard::Sync.index()] = 1.0;
+        for _ in 0..10 {
+            s.record_cycle(8, 3, 1, &w);
+        }
+        let b = s.breakdown();
+        assert!((b.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((b[0] - 3.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_accumulates_slots_and_commits() {
+        let mut a = SlotStats::default();
+        a.record_cycle(4, 2, 0, &[0.0; 7]);
+        a.committed = 10;
+        let mut b = SlotStats::default();
+        b.record_cycle(4, 4, 0, &[0.0; 7]);
+        b.record_cycle(4, 4, 0, &[0.0; 7]);
+        b.committed = 5;
+        a.merge(&b);
+        assert_eq!(a.slots, 12);
+        assert_eq!(a.cycles, 2); // lockstep: max, not sum
+        assert_eq!(a.committed, 15);
+        assert_eq!(a.useful, 10.0);
+    }
+
+    #[test]
+    fn ipc_uses_committed_over_cycles() {
+        let mut s = SlotStats::default();
+        s.record_cycle(8, 8, 0, &[0.0; 7]);
+        s.record_cycle(8, 0, 0, &[0.0; 7]);
+        s.committed = 8;
+        assert!((s.ipc() - 4.0).abs() < 1e-9);
+    }
+}

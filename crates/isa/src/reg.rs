@@ -1,0 +1,88 @@
+//! Architectural register names.
+//!
+//! The base core (paper §3.1, Figure 2) has separate integer and floating
+//! point register files, each renamed through its own pool of renaming
+//! registers (Table 2). We model a MIPS-like architectural file: 32 integer
+//! plus 32 FP registers per thread. Register `Int(0)` is the hard-wired zero
+//! register and is never a real dependence.
+
+/// Number of architectural integer registers per thread.
+pub const NUM_INT_REGS: u8 = 32;
+/// Number of architectural floating-point registers per thread.
+pub const NUM_FP_REGS: u8 = 32;
+
+/// An architectural register name within one thread's context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ArchReg {
+    /// Integer register `$0..$31`. `$0` reads as zero and is never renamed.
+    Int(u8),
+    /// Floating-point register `$f0..$f31`.
+    Fp(u8),
+}
+
+impl ArchReg {
+    /// True if this is the hard-wired integer zero register.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        matches!(self, ArchReg::Int(0))
+    }
+
+    /// True if the register lives in the FP file (selects the FP rename pool).
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        matches!(self, ArchReg::Fp(_))
+    }
+
+    /// Dense index in `[0, NUM_INT_REGS + NUM_FP_REGS)` for per-thread map
+    /// tables stored as flat arrays.
+    #[inline]
+    pub fn flat_index(self) -> usize {
+        match self {
+            ArchReg::Int(i) => {
+                debug_assert!(i < NUM_INT_REGS);
+                i as usize
+            }
+            ArchReg::Fp(i) => {
+                debug_assert!(i < NUM_FP_REGS);
+                NUM_INT_REGS as usize + i as usize
+            }
+        }
+    }
+
+    /// Total number of architectural registers per thread.
+    pub const COUNT: usize = NUM_INT_REGS as usize + NUM_FP_REGS as usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_detection() {
+        assert!(ArchReg::Int(0).is_zero());
+        assert!(!ArchReg::Int(1).is_zero());
+        assert!(!ArchReg::Fp(0).is_zero());
+    }
+
+    #[test]
+    fn flat_index_is_dense_and_injective() {
+        let mut seen = [false; ArchReg::COUNT];
+        for i in 0..NUM_INT_REGS {
+            let idx = ArchReg::Int(i).flat_index();
+            assert!(!seen[idx]);
+            seen[idx] = true;
+        }
+        for i in 0..NUM_FP_REGS {
+            let idx = ArchReg::Fp(i).flat_index();
+            assert!(!seen[idx]);
+            seen[idx] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn fp_predicate() {
+        assert!(ArchReg::Fp(3).is_fp());
+        assert!(!ArchReg::Int(3).is_fp());
+    }
+}

@@ -1,0 +1,394 @@
+//! DASH-like full-map directory cache coherence (paper Figure 3, ref [8]).
+//!
+//! The high-end machine is "a scalable shared-memory multiprocessor similar
+//! to DASH": each node holds a slice of global memory plus the directory for
+//! that slice. We implement a full-map **MESI** directory at cache-line
+//! granularity (DASH itself granted exclusive-clean copies; without the E
+//! state every private read-then-write would pay a spurious upgrade trip).
+//! Pages are interleaved across nodes (home = `page mod nodes`), so the
+//! directory entry for a line lives with its memory.
+//!
+//! The directory decides *who services a miss*:
+//!
+//! * line uncached / shared / exclusive-clean ⇒ memory at the home node
+//!   (local 40 / remote 60 cycles, Table 3);
+//! * line modified in another node's L2 ⇒ cache-to-cache transfer
+//!   (remote L2, 75 cycles);
+//! * a write touching a line shared by other nodes invalidates them
+//!   (penalty charged to the writer, see `MemConfig::invalidation_penalty`).
+
+use std::collections::HashMap;
+
+/// Sharer bitmask; the paper's machines have at most 4 nodes, we allow 32.
+pub type NodeMask = u32;
+
+/// Per-line directory state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirState {
+    /// No cached copies.
+    Uncached,
+    /// Clean copies at the nodes in the mask.
+    Shared(NodeMask),
+    /// Clean copy at exactly one node (may be silently upgraded to Modified).
+    Exclusive(u8),
+    /// Dirty copy owned by one node.
+    Modified(u8),
+}
+
+/// Who must service the access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Service {
+    /// Home memory, home node == requester.
+    LocalMem,
+    /// Home memory at a remote node.
+    RemoteMem,
+    /// Dirty line in another node's L2: cache-to-cache transfer. The owner
+    /// field tells the hierarchy whose L2 to downgrade/invalidate.
+    RemoteL2 { owner: usize },
+    /// No data movement needed (silent E→M upgrade by the owner).
+    None,
+}
+
+/// Result of a directory transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirOutcome {
+    /// Which resource supplies the data (or `None` for silent upgrades).
+    pub service: Service,
+    /// Number of *remote* copies that had to be invalidated (writes only).
+    pub invalidations: u32,
+    /// Bitmask of nodes whose cached copies must be dropped by the caller.
+    pub invalidated_mask: NodeMask,
+    /// Previous owner whose L2 must be downgraded (reads) or invalidated
+    /// (writes) by the hierarchy.
+    pub prev_owner: Option<usize>,
+}
+
+impl DirOutcome {
+    fn mem(service: Service) -> Self {
+        DirOutcome { service, invalidations: 0, invalidated_mask: 0, prev_owner: None }
+    }
+}
+
+/// Full-map directory for all lines homed across `nodes` nodes.
+#[derive(Debug, Clone)]
+pub struct Directory {
+    lines: HashMap<u64, DirState>,
+    nodes: usize,
+    /// Lines per page, for computing homes (pages interleave round-robin).
+    lines_per_page: u64,
+    remote_l2_transfers: u64,
+    invalidations_sent: u64,
+    transactions: u64,
+}
+
+impl Directory {
+    /// Directory for `nodes` nodes with `lines_per_page` lines per page.
+    pub fn new(nodes: usize, lines_per_page: u64) -> Self {
+        assert!((1..=32).contains(&nodes));
+        assert!(lines_per_page >= 1);
+        Self {
+            lines: HashMap::new(),
+            nodes,
+            lines_per_page,
+            remote_l2_transfers: 0,
+            invalidations_sent: 0,
+            transactions: 0,
+        }
+    }
+
+    /// Home node of a line: pages are interleaved round-robin across nodes.
+    #[inline]
+    pub fn home_of(&self, line: u64) -> usize {
+        ((line / self.lines_per_page) % self.nodes as u64) as usize
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn state(&self, line: u64) -> DirState {
+        *self.lines.get(&line).unwrap_or(&DirState::Uncached)
+    }
+
+    fn mem_service(&self, line: u64, node: usize) -> Service {
+        if self.home_of(line) == node {
+            Service::LocalMem
+        } else {
+            Service::RemoteMem
+        }
+    }
+
+    /// A read miss from `node` for `line`.
+    pub fn read(&mut self, line: u64, node: usize) -> DirOutcome {
+        debug_assert!(node < self.nodes);
+        self.transactions += 1;
+        let bit = 1u32 << node;
+        match self.state(line) {
+            DirState::Uncached => {
+                self.lines.insert(line, DirState::Exclusive(node as u8));
+                DirOutcome::mem(self.mem_service(line, node))
+            }
+            DirState::Shared(m) => {
+                self.lines.insert(line, DirState::Shared(m | bit));
+                DirOutcome::mem(self.mem_service(line, node))
+            }
+            DirState::Exclusive(owner) => {
+                if owner as usize == node {
+                    // Silent eviction followed by a refetch: still exclusive.
+                    return DirOutcome::mem(self.mem_service(line, node));
+                }
+                // Clean copy elsewhere: home memory supplies; both now share.
+                self.lines
+                    .insert(line, DirState::Shared(bit | (1u32 << owner)));
+                DirOutcome::mem(self.mem_service(line, node))
+            }
+            DirState::Modified(owner) => {
+                if owner as usize == node {
+                    // Silent-eviction refetch of a dirty line the directory
+                    // still attributes to us; no writeback is modelled, fall
+                    // back to memory and downgrade.
+                    self.lines.insert(line, DirState::Exclusive(node as u8));
+                    return DirOutcome::mem(self.mem_service(line, node));
+                }
+                // Dirty elsewhere: cache-to-cache transfer; owner keeps a
+                // clean shared copy.
+                self.remote_l2_transfers += 1;
+                self.lines
+                    .insert(line, DirState::Shared(bit | (1u32 << owner)));
+                DirOutcome {
+                    service: Service::RemoteL2 { owner: owner as usize },
+                    invalidations: 0,
+                    invalidated_mask: 0,
+                    prev_owner: Some(owner as usize),
+                }
+            }
+        }
+    }
+
+    /// A write from `node` for `line` — used both for write misses and for
+    /// upgrades of a locally cached clean copy.
+    pub fn write(&mut self, line: u64, node: usize) -> DirOutcome {
+        debug_assert!(node < self.nodes);
+        self.transactions += 1;
+        let bit = 1u32 << node;
+        match self.state(line) {
+            DirState::Uncached => {
+                self.lines.insert(line, DirState::Modified(node as u8));
+                DirOutcome::mem(self.mem_service(line, node))
+            }
+            DirState::Shared(m) => {
+                let remote_sharers = (m & !bit).count_ones();
+                self.invalidations_sent += remote_sharers as u64;
+                self.lines.insert(line, DirState::Modified(node as u8));
+                // If we already held a shared copy this is an upgrade: the
+                // directory transaction still happens (home round trip) but
+                // no data moves. We charge the memory service either way —
+                // the home must be visited.
+                DirOutcome {
+                    service: self.mem_service(line, node),
+                    invalidations: remote_sharers,
+                    invalidated_mask: m & !bit,
+                    prev_owner: None,
+                }
+            }
+            DirState::Exclusive(owner) => {
+                if owner as usize == node {
+                    // Silent E→M upgrade: free, no transaction on the wire.
+                    self.transactions -= 1;
+                    self.lines.insert(line, DirState::Modified(node as u8));
+                    return DirOutcome {
+                        service: Service::None,
+                        invalidations: 0,
+                        invalidated_mask: 0,
+                        prev_owner: None,
+                    };
+                }
+                // Clean copy elsewhere: invalidate it, memory supplies.
+                self.invalidations_sent += 1;
+                self.lines.insert(line, DirState::Modified(node as u8));
+                DirOutcome {
+                    service: self.mem_service(line, node),
+                    invalidations: 1,
+                    invalidated_mask: 1u32 << owner,
+                    prev_owner: Some(owner as usize),
+                }
+            }
+            DirState::Modified(owner) => {
+                if owner as usize == node {
+                    // Already ours and dirty (directory lost track of a
+                    // silent eviction): free.
+                    self.transactions -= 1;
+                    return DirOutcome {
+                        service: Service::None,
+                        invalidations: 0,
+                        invalidated_mask: 0,
+                        prev_owner: None,
+                    };
+                }
+                self.remote_l2_transfers += 1;
+                self.invalidations_sent += 1;
+                self.lines.insert(line, DirState::Modified(node as u8));
+                DirOutcome {
+                    service: Service::RemoteL2 { owner: owner as usize },
+                    invalidations: 1,
+                    invalidated_mask: 1u32 << owner,
+                    prev_owner: Some(owner as usize),
+                }
+            }
+        }
+    }
+
+    /// Current state (for tests and the multichip example's inspection).
+    pub fn inspect(&self, line: u64) -> DirState {
+        self.state(line)
+    }
+
+    /// (transactions, remote-L2 transfers, invalidations sent).
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.transactions, self.remote_l2_transfers, self.invalidations_sent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir4() -> Directory {
+        // 64 lines per 4K page.
+        Directory::new(4, 64)
+    }
+
+    #[test]
+    fn homes_are_page_interleaved() {
+        let d = dir4();
+        assert_eq!(d.home_of(0), 0);
+        assert_eq!(d.home_of(63), 0); // same page
+        assert_eq!(d.home_of(64), 1);
+        assert_eq!(d.home_of(128), 2);
+        assert_eq!(d.home_of(192), 3);
+        assert_eq!(d.home_of(256), 0); // wraps
+    }
+
+    #[test]
+    fn cold_read_grants_exclusive_from_home_memory() {
+        let mut d = dir4();
+        let o = d.read(0, 0); // home(0) == 0
+        assert_eq!(o.service, Service::LocalMem);
+        assert_eq!(d.inspect(0), DirState::Exclusive(0));
+        let o = d.read(64, 0); // home(64) == 1
+        assert_eq!(o.service, Service::RemoteMem);
+    }
+
+    #[test]
+    fn second_reader_downgrades_exclusive_to_shared() {
+        let mut d = dir4();
+        d.read(5, 0);
+        let o = d.read(5, 2);
+        // home(5) = 0, requester is node 2 ⇒ remote memory supplies.
+        assert_eq!(o.service, Service::RemoteMem);
+        assert_eq!(d.inspect(5), DirState::Shared(0b0101));
+    }
+
+    #[test]
+    fn readers_accumulate_in_sharer_mask() {
+        let mut d = dir4();
+        d.read(5, 0);
+        d.read(5, 2);
+        d.read(5, 3);
+        assert_eq!(d.inspect(5), DirState::Shared(0b1101));
+    }
+
+    #[test]
+    fn silent_upgrade_is_free_for_exclusive_owner() {
+        let mut d = dir4();
+        d.read(5, 1);
+        let before_tx = d.stats().0;
+        let o = d.write(5, 1);
+        assert_eq!(o.service, Service::None);
+        assert_eq!(o.invalidations, 0);
+        assert_eq!(d.inspect(5), DirState::Modified(1));
+        assert_eq!(d.stats().0, before_tx, "silent upgrade is not a transaction");
+    }
+
+    #[test]
+    fn write_to_shared_invalidates_remote_sharers_only() {
+        let mut d = dir4();
+        d.read(5, 0);
+        d.read(5, 1);
+        d.read(5, 2);
+        let o = d.write(5, 1);
+        assert_eq!(o.invalidations, 2); // nodes 0 and 2, not the writer
+        assert_eq!(d.inspect(5), DirState::Modified(1));
+    }
+
+    #[test]
+    fn read_of_modified_line_is_cache_to_cache() {
+        let mut d = dir4();
+        d.read(7, 2);
+        d.write(7, 2); // silent upgrade
+        let o = d.read(7, 0);
+        assert_eq!(o.service, Service::RemoteL2 { owner: 2 });
+        assert_eq!(o.prev_owner, Some(2));
+        // Both the reader and the old owner now share the line.
+        assert_eq!(d.inspect(7), DirState::Shared(0b0101));
+    }
+
+    #[test]
+    fn write_of_modified_line_transfers_ownership() {
+        let mut d = dir4();
+        d.write(7, 2);
+        let o = d.write(7, 3);
+        assert_eq!(o.service, Service::RemoteL2 { owner: 2 });
+        assert_eq!(o.invalidations, 1);
+        assert_eq!(d.inspect(7), DirState::Modified(3));
+    }
+
+    #[test]
+    fn write_to_remote_exclusive_clean_invalidates_without_c2c() {
+        let mut d = dir4();
+        d.read(7, 2); // exclusive clean at node 2
+        let o = d.write(7, 0);
+        assert_eq!(o.invalidations, 1);
+        assert_eq!(o.prev_owner, Some(2));
+        // home(7) = 0 and the writer is node 0 ⇒ local memory supplies.
+        assert_eq!(o.service, Service::LocalMem);
+        assert_eq!(d.inspect(7), DirState::Modified(0));
+    }
+
+    #[test]
+    fn owner_refetch_after_silent_eviction_downgrades_modified() {
+        let mut d = dir4();
+        d.write(9, 1);
+        let o = d.read(9, 1);
+        assert_eq!(o.prev_owner, None);
+        assert_eq!(d.inspect(9), DirState::Exclusive(1));
+        assert!(matches!(o.service, Service::LocalMem | Service::RemoteMem));
+    }
+
+    #[test]
+    fn single_node_machine_is_always_local_and_quiet() {
+        let mut d = Directory::new(1, 64);
+        for line in 0..100 {
+            let r = d.read(line, 0);
+            assert_eq!(r.service, Service::LocalMem);
+            let w = d.write(line, 0);
+            assert_eq!(w.invalidations, 0);
+        }
+        let (_, c2c, inv) = d.stats();
+        assert_eq!(c2c, 0);
+        assert_eq!(inv, 0);
+    }
+
+    #[test]
+    fn stats_count_transactions() {
+        let mut d = dir4();
+        d.read(1, 0); // tx 1: E@0
+        d.write(1, 1); // tx 2: invalidate node 0's clean copy
+        d.read(1, 2); // tx 3: c2c from node 1
+        let (tx, c2c, inv) = d.stats();
+        assert_eq!(tx, 3);
+        assert_eq!(c2c, 1);
+        assert_eq!(inv, 1);
+    }
+}

@@ -1,0 +1,378 @@
+//! # csmt-model — the paper's §2 model of parallelism
+//!
+//! The model charts applications and architectures on a plane of
+//! *number of threads* (x) versus *ILP per thread* (y), all for 8-issue
+//! chips:
+//!
+//! * an application `A` is a point `(t, i)`; the area `t·i` is the
+//!   performance extractable from it;
+//! * a fixed-assignment processor `FAc` is the rectangle `c × 8/c`: it
+//!   delivers the overlap of its rectangle with the application's;
+//! * an SMT processor is a rectangle of constant area 8 whose upper-right
+//!   vertex slides along the hyperbola `x·y = 8`; a *clustered* SMT with
+//!   `c` clusters cannot raise ILP above `8/c`, so its hyperbola is capped
+//!   at `y = 8/c`.
+//!
+//! Region classification (Figure 1-(d)/(g)): region 1 — application fully
+//! exploited, processor under-utilized; region 2 (*optimal*) — processor
+//! fully utilized; region 3 — both under-utilized.
+//!
+//! The model deliberately ignores cycle-time differences (§2: "it just
+//! serves to illustrate the potential of each architecture"); the bench
+//! harness applies the Palacharla-Jouppi clock factors separately.
+
+//! ```
+//! use csmt_model::{AppPoint, ArchModel};
+//!
+//! // An application with 6 runnable threads of ILP 1.3 (ocean-like):
+//! let a = AppPoint::new(6.0, 1.3);
+//! let fa2 = ArchModel::Fa { clusters: 2 };
+//! let smt2 = ArchModel::Smt { clusters: 2 };
+//! // FA2 can use only 2 of the 6 threads; SMT2 uses them all.
+//! assert!(smt2.delivered(a) > fa2.delivered(a) * 2.5);
+//! ```
+
+/// Chip issue width the whole analysis assumes (the paper restricts itself
+/// to 8-issue processors).
+pub const CHIP_ISSUE: f64 = 8.0;
+
+/// An application as a point on the parallelism chart.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppPoint {
+    /// Average number of runnable threads.
+    pub threads: f64,
+    /// Average ILP per thread.
+    pub ilp: f64,
+}
+
+impl AppPoint {
+    /// Construct, validating positivity.
+    pub fn new(threads: f64, ilp: f64) -> Self {
+        assert!(threads > 0.0 && ilp > 0.0, "degenerate application point");
+        AppPoint { threads, ilp }
+    }
+
+    /// Extractable performance (area under the point).
+    pub fn potential(&self) -> f64 {
+        self.threads * self.ilp
+    }
+}
+
+/// An 8-issue architecture in the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArchModel {
+    /// Fixed assignment with `clusters` processors of width `8/clusters`.
+    Fa {
+        /// Number of single-thread clusters.
+        clusters: u32,
+    },
+    /// (Clustered) SMT with `clusters` clusters of width `8/clusters`,
+    /// 8 hardware threads total. `clusters = 1` is the centralized SMT.
+    Smt {
+        /// Number of SMT clusters.
+        clusters: u32,
+    },
+}
+
+impl ArchModel {
+    fn check(clusters: u32) {
+        assert!(
+            matches!(clusters, 1 | 2 | 4 | 8),
+            "paper divides an 8-issue chip into 1/2/4/8 clusters"
+        );
+    }
+
+    /// Width of one cluster.
+    pub fn cluster_width(self) -> f64 {
+        match self {
+            ArchModel::Fa { clusters } | ArchModel::Smt { clusters } => {
+                Self::check(clusters);
+                CHIP_ISSUE / clusters as f64
+            }
+        }
+    }
+
+    /// Maximum thread count exploitable.
+    pub fn max_threads(self) -> f64 {
+        match self {
+            ArchModel::Fa { clusters } => clusters as f64,
+            // Any SMT variant supports 8 threads.
+            ArchModel::Smt { .. } => CHIP_ISSUE,
+        }
+    }
+
+    /// Maximum per-thread ILP exploitable (the Y-cap of the hyperbola for
+    /// clustered SMTs, the box height for FAs).
+    pub fn max_ilp(self) -> f64 {
+        self.cluster_width()
+    }
+
+    /// Performance delivered on application `a` (the shaded-area overlap of
+    /// Figure 1-(c)/(f)), in instructions per cycle.
+    pub fn delivered(self, a: AppPoint) -> f64 {
+        match self {
+            ArchModel::Fa { clusters } => {
+                let c = clusters as f64;
+                a.threads.min(c) * a.ilp.min(CHIP_ISSUE / c)
+            }
+            ArchModel::Smt { .. } => {
+                // The rectangle adapts: pick per-thread issue y = min(ilp,
+                // cap), then thread count x = min(threads, 8/y); delivered
+                // x·y = min(threads·y, 8).
+                let y = a.ilp.min(self.max_ilp());
+                (a.threads * y).min(CHIP_ISSUE)
+            }
+        }
+    }
+
+    /// Fraction of the chip's peak (8 IPC) utilized on `a`.
+    pub fn utilization(self, a: AppPoint) -> f64 {
+        self.delivered(a) / CHIP_ISSUE
+    }
+
+    /// Region of Figure 1-(d)/(g) that `a` falls into for this architecture.
+    pub fn region(self, a: AppPoint) -> Region {
+        let d = self.delivered(a);
+        let app_fully_exploited = (d - a.potential()).abs() < 1e-9 || d >= a.potential();
+        let processor_fully_utilized = d >= CHIP_ISSUE - 1e-9;
+        match (app_fully_exploited, processor_fully_utilized) {
+            (true, false) => Region::AppExploited,
+            (_, true) => Region::Optimal,
+            (false, false) => Region::BothUnderUtilized,
+        }
+    }
+
+    /// Display name ("FA2", "SMT2", …).
+    pub fn name(self) -> String {
+        match self {
+            ArchModel::Fa { clusters } => format!("FA{clusters}"),
+            ArchModel::Smt { clusters } => format!("SMT{clusters}"),
+        }
+    }
+}
+
+/// The three regions of the model's charts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// (1) Application fully exploited; processor under-utilized. Maximum
+    /// performance for this application is achieved.
+    AppExploited,
+    /// (2) Processor fully utilized — "the optimal region".
+    Optimal,
+    /// (3) Application under-exploited *and* processor under-utilized.
+    BothUnderUtilized,
+}
+
+/// Sample the limiting envelope of an architecture for plotting Figure 1:
+/// returns `(threads, max-ilp-at-that-thread-count)` pairs.
+pub fn envelope(arch: ArchModel, samples: usize) -> Vec<(f64, f64)> {
+    assert!(samples >= 2);
+    (0..samples)
+        .map(|k| {
+            let x = 0.25 + (CHIP_ISSUE - 0.25) * k as f64 / (samples - 1) as f64;
+            let y = match arch {
+                ArchModel::Fa { clusters } => {
+                    if x <= clusters as f64 {
+                        CHIP_ISSUE / clusters as f64
+                    } else {
+                        0.0
+                    }
+                }
+                ArchModel::Smt { .. } => (CHIP_ISSUE / x).min(arch.max_ilp()),
+            };
+            (x, y)
+        })
+        .collect()
+}
+
+/// Rank architectures by delivered performance on `a`, best first.
+pub fn ranking(archs: &[ArchModel], a: AppPoint) -> Vec<(ArchModel, f64)> {
+    let mut v: Vec<(ArchModel, f64)> = archs.iter().map(|&m| (m, m.delivered(a))).collect();
+    v.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("finite"));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FA: [ArchModel; 4] = [
+        ArchModel::Fa { clusters: 8 },
+        ArchModel::Fa { clusters: 4 },
+        ArchModel::Fa { clusters: 2 },
+        ArchModel::Fa { clusters: 1 },
+    ];
+
+    #[test]
+    fn fa_boxes_have_area_eight() {
+        for m in FA {
+            assert!((m.max_threads() * m.max_ilp() - 8.0).abs() < 1e-12, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn smt1_adapts_to_any_app_shape() {
+        let smt1 = ArchModel::Smt { clusters: 1 };
+        // Wide-thread app.
+        assert!((smt1.delivered(AppPoint::new(8.0, 1.0)) - 8.0).abs() < 1e-12);
+        // Single-thread high-ILP app.
+        assert!((smt1.delivered(AppPoint::new(1.0, 8.0)) - 8.0).abs() < 1e-12);
+        // Intermediate point on the hyperbola.
+        assert!((smt1.delivered(AppPoint::new(5.0, 1.6)) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smt2_caps_per_thread_ilp_at_four() {
+        let smt2 = ArchModel::Smt { clusters: 2 };
+        // One 8-ILP thread: only 4 exploitable.
+        assert!((smt2.delivered(AppPoint::new(1.0, 8.0)) - 4.0).abs() < 1e-12);
+        // Two such threads saturate the chip.
+        assert!((smt2.delivered(AppPoint::new(2.0, 8.0)) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustered_smt_dominates_same_shape_fa() {
+        // §2's conclusion: the SMT optimal region is a superset of the FA's.
+        for clusters in [1u32, 2, 4, 8] {
+            let fa = ArchModel::Fa { clusters };
+            let smt = ArchModel::Smt { clusters };
+            for &t in &[0.5, 1.0, 2.0, 3.7, 6.0, 8.0] {
+                for &i in &[0.5, 1.0, 2.3, 4.0, 8.0] {
+                    let a = AppPoint::new(t, i);
+                    assert!(
+                        smt.delivered(a) >= fa.delivered(a) - 1e-12,
+                        "{} vs {} on {a:?}",
+                        smt.name(),
+                        fa.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_example_application_a() {
+        // Figure 1-(c): A ≈ (6, 5). FA2 delivers only 2×4 = 8 of the 30
+        // available; SMT2 the same chip-peak 8 — but for a *smaller* app the
+        // difference shows:
+        let a = AppPoint::new(3.0, 3.0);
+        let fa2 = ArchModel::Fa { clusters: 2 };
+        let smt2 = ArchModel::Smt { clusters: 2 };
+        assert!((fa2.delivered(a) - 2.0 * 3.0).abs() < 1e-12); // 2 threads × 3 ILP
+        assert!((smt2.delivered(a) - 8.0).abs() < 1e-12); // clips at chip peak
+    }
+
+    #[test]
+    fn regions_classify_as_in_figure_1d() {
+        let fa2 = ArchModel::Fa { clusters: 2 };
+        // Small app inside the box: region 1.
+        assert_eq!(fa2.region(AppPoint::new(1.0, 2.0)), Region::AppExploited);
+        // Big app engulfing the box: region 2 (optimal).
+        assert_eq!(fa2.region(AppPoint::new(4.0, 8.0)), Region::Optimal);
+        // App with many threads but little ILP: region 3 for FA2.
+        assert_eq!(fa2.region(AppPoint::new(8.0, 1.0)), Region::BothUnderUtilized);
+        // That same app is optimal for SMT2.
+        assert_eq!(
+            ArchModel::Smt { clusters: 2 }.region(AppPoint::new(8.0, 1.0)),
+            Region::Optimal
+        );
+    }
+
+    #[test]
+    fn envelope_follows_hyperbola_until_cap() {
+        let smt2 = ArchModel::Smt { clusters: 2 };
+        for (x, y) in envelope(smt2, 50) {
+            assert!(y <= 4.0 + 1e-12);
+            assert!(x * y <= 8.0 + 1e-9);
+        }
+        let smt1 = ArchModel::Smt { clusters: 1 };
+        let pts = envelope(smt1, 50);
+        // At x=8, y must be 1 on the pure hyperbola.
+        let last = pts.last().unwrap();
+        assert!((last.0 - 8.0).abs() < 1e-9 && (last.1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ranking_puts_the_adaptive_design_first_for_mixed_apps() {
+        let archs = [
+            ArchModel::Fa { clusters: 8 },
+            ArchModel::Fa { clusters: 2 },
+            ArchModel::Fa { clusters: 1 },
+            ArchModel::Smt { clusters: 2 },
+        ];
+        // tomcatv-like: few threads, moderate ILP. SMT2 ties the best
+        // (FA2's box matches this shape exactly), never loses.
+        let r = ranking(&archs, AppPoint::new(2.0, 4.0));
+        let smt2_d = ArchModel::Smt { clusters: 2 }.delivered(AppPoint::new(2.0, 4.0));
+        assert!((smt2_d - r[0].1).abs() < 1e-12, "SMT2 must tie the winner");
+        // ocean-like: many threads, low ILP — SMT2 strictly wins.
+        let r = ranking(&archs, AppPoint::new(7.0, 1.3));
+        assert_eq!(r[0].0.name(), "SMT2");
+        assert!(r[0].1 > r[1].1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn degenerate_points_rejected() {
+        AppPoint::new(0.0, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_point() -> impl Strategy<Value = AppPoint> {
+        (0.1f64..8.0, 0.1f64..8.0).prop_map(|(t, i)| AppPoint::new(t, i))
+    }
+
+    fn arb_clusters() -> impl Strategy<Value = u32> {
+        prop_oneof![Just(1u32), Just(2), Just(4), Just(8)]
+    }
+
+    proptest! {
+        /// No architecture exceeds the chip peak or the app's potential.
+        #[test]
+        fn delivered_is_bounded(a in arb_point(), c in arb_clusters()) {
+            for m in [ArchModel::Fa { clusters: c }, ArchModel::Smt { clusters: c }] {
+                let d = m.delivered(a);
+                prop_assert!(d <= CHIP_ISSUE + 1e-9);
+                prop_assert!(d <= a.potential() + 1e-9);
+                prop_assert!(d >= 0.0);
+            }
+        }
+
+        /// SMT with fewer clusters (wider) never loses to more clusters.
+        #[test]
+        fn wider_smt_clusters_dominate(a in arb_point()) {
+            let d1 = ArchModel::Smt { clusters: 1 }.delivered(a);
+            let d2 = ArchModel::Smt { clusters: 2 }.delivered(a);
+            let d4 = ArchModel::Smt { clusters: 4 }.delivered(a);
+            let d8 = ArchModel::Smt { clusters: 8 }.delivered(a);
+            prop_assert!(d1 >= d2 - 1e-9);
+            prop_assert!(d2 >= d4 - 1e-9);
+            prop_assert!(d4 >= d8 - 1e-9);
+        }
+
+        /// Delivered performance is monotone in the application point.
+        #[test]
+        fn delivered_is_monotone(a in arb_point(), c in arb_clusters(), dt in 0.0f64..2.0, di in 0.0f64..2.0) {
+            let bigger = AppPoint::new(a.threads + dt, a.ilp + di);
+            for m in [ArchModel::Fa { clusters: c }, ArchModel::Smt { clusters: c }] {
+                prop_assert!(m.delivered(bigger) >= m.delivered(a) - 1e-9);
+            }
+        }
+
+        /// Every point lands in exactly one region, and saturating apps are
+        /// always "optimal".
+        #[test]
+        fn regions_are_total(a in arb_point(), c in arb_clusters()) {
+            let m = ArchModel::Smt { clusters: c };
+            let r = m.region(a);
+            if m.delivered(a) >= CHIP_ISSUE - 1e-9 {
+                prop_assert_eq!(r, Region::Optimal);
+            }
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! One-call simulation of (application × architecture × machine size).
+//!
+//! This is the function every figure reduces to: build the machine, create
+//! "as many threads as are required by the processor" (§4), run to
+//! completion, return the statistics.
+
+use crate::apps::{build_streams, AppParams, AppSpec};
+use csmt_core::{ArchKind, Machine, RunResult};
+use csmt_mem::MemConfig;
+
+/// Ceiling on simulated cycles; hitting it means a deadlock (a bug).
+const MAX_CYCLES: u64 = 2_000_000_000;
+
+/// Simulate `app` on `arch` with `n_chips` chips at work scale `scale`.
+///
+/// Thread count = the machine's hardware contexts (Table 2 × chips), e.g.
+/// SMT2 × 4 chips = 32 threads, FA1 × 4 chips = 4 threads.
+pub fn simulate(app: &AppSpec, arch: ArchKind, n_chips: usize, scale: f64, seed: u64) -> RunResult {
+    simulate_with_mem(app, arch, n_chips, scale, seed, MemConfig::table3())
+}
+
+/// [`simulate`] with a custom memory configuration (ablation benches).
+pub fn simulate_with_mem(
+    app: &AppSpec,
+    arch: ArchKind,
+    n_chips: usize,
+    scale: f64,
+    seed: u64,
+    mem: MemConfig,
+) -> RunResult {
+    simulate_with_chip(app, arch.chip(), n_chips, scale, seed, mem)
+}
+
+/// Fully custom simulation: any chip configuration (e.g. a non-Table-2
+/// shape or a different fetch policy) on any machine size.
+pub fn simulate_with_chip(
+    app: &AppSpec,
+    chip: csmt_core::ChipConfig,
+    n_chips: usize,
+    scale: f64,
+    seed: u64,
+    mem: MemConfig,
+) -> RunResult {
+    let mut machine = Machine::new(chip, n_chips, mem, seed);
+    let n_threads = machine.hw_thread_capacity();
+    let params = AppParams::new(n_threads, n_chips, scale, seed);
+    machine.attach_threads(build_streams(app, &params));
+    machine.run(MAX_CYCLES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps;
+
+    const SCALE: f64 = 0.03;
+
+    #[test]
+    fn every_app_completes_on_every_arch_low_end() {
+        for app in apps::all_apps() {
+            for arch in ArchKind::ALL {
+                let r = simulate(&app, arch, 1, SCALE, 42);
+                assert!(r.cycles > 0, "{} on {}", app.name, arch.name());
+                assert!(r.slots.committed > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn high_end_runs_with_four_chips() {
+        let app = apps::ocean();
+        let r = simulate(&app, ArchKind::Smt2, 4, SCALE, 42);
+        assert_eq!(r.chips, 4);
+        assert_eq!(r.threads, 32);
+        assert!(r.mem.remote_mem + r.mem.remote_l2 > 0, "NUMA traffic expected");
+    }
+
+    #[test]
+    fn thread_counts_match_table2_times_chips() {
+        let app = apps::swim();
+        for (arch, chips, expect) in [
+            (ArchKind::Fa8, 1, 8),
+            (ArchKind::Fa1, 1, 1),
+            (ArchKind::Smt2, 1, 8),
+            (ArchKind::Fa8, 4, 32),
+            (ArchKind::Fa4, 4, 16),
+            (ArchKind::Fa2, 4, 8),
+            (ArchKind::Fa1, 4, 4),
+            (ArchKind::Smt2, 4, 32),
+        ] {
+            let r = simulate(&app, arch, chips, 0.01, 1);
+            assert_eq!(r.threads, expect, "{} × {chips}", arch.name());
+        }
+    }
+
+    #[test]
+    fn fa1_commits_all_the_work_single_threaded() {
+        let app = apps::vpenta();
+        let r1 = simulate(&app, ArchKind::Fa1, 1, SCALE, 42);
+        let r8 = simulate(&app, ArchKind::Fa8, 1, SCALE, 42);
+        // Same total work modulo per-thread iteration truncation (each of
+        // the 8 threads loses up to one iteration per loop — visible at the
+        // tiny test scale, ~1% at figure scale).
+        let ratio = r1.slots.committed as f64 / r8.slots.committed as f64;
+        assert!((0.85..1.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn deterministic_end_to_end() {
+        let app = apps::fmm();
+        let a = simulate(&app, ArchKind::Smt4, 1, SCALE, 9);
+        let b = simulate(&app, ArchKind::Smt4, 1, SCALE, 9);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.slots, b.slots);
+    }
+
+    #[test]
+    fn locks_are_exercised_by_fmm() {
+        let r = simulate(&apps::fmm(), ArchKind::Smt2, 1, SCALE, 42);
+        assert!(r.lock_acquisitions > 0);
+    }
+
+    #[test]
+    fn barriers_are_exercised_by_every_app() {
+        for app in apps::all_apps() {
+            let r = simulate(&app, ArchKind::Fa4, 1, SCALE, 42);
+            assert!(r.barrier_episodes > 0, "{}", app.name);
+        }
+    }
+}

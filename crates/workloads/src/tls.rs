@@ -1,0 +1,262 @@
+//! Thread-level speculation (TLS) — a first-order model of the paper's
+//! companion work.
+//!
+//! The paper's introduction points at "several proposed software and
+//! hardware features [that] can enable even sequential applications to
+//! execute in multithreaded mode", including the authors' own
+//! speculation-support work on this same clustered architecture
+//! (reference [7], Krishnan & Torrellas, MTEAC'98). This module models that
+//! execution mode at first order:
+//!
+//! * a sequential loop of `epochs` iterations is distributed round-robin
+//!   over `T` speculative threads;
+//! * each epoch may carry a loop-carried RAW dependence on its predecessor
+//!   (probability [`TlsLoop::dep_frac`], drawn deterministically per
+//!   epoch). When the predecessor runs concurrently on another thread —
+//!   always the case for round-robin with `T > 1` — the dependent epoch
+//!   *violates* and must squash and re-execute;
+//! * epochs commit in order through a commit token, modelled as a short
+//!   lock-protected region at the end of every epoch.
+//!
+//! The simplification relative to a full TLS simulator is documented in
+//! DESIGN.md: violations are drawn from the loop's dependence statistics
+//! up front instead of being discovered by simulated memory timing, so the
+//! *cost* of speculation (re-executed work, commit serialization) is
+//! timing-accurate while the *occurrence* is statistical. That preserves
+//! the trade-off the companion paper explores — speculative speedup versus
+//! violation waste as dependence density rises.
+
+use crate::addr::{AddrCursor, AddrMode, Layout};
+use crate::kernel::{KernelInstance, KernelSpec};
+use crate::program::{Phase, ProgramStream};
+use csmt_core::{ChipConfig, Machine, RunResult};
+use csmt_isa::block::OpMix;
+use csmt_isa::{InstStream, SplitMix64, SyncOp};
+use csmt_mem::MemConfig;
+
+/// A speculatively parallelized sequential loop.
+#[derive(Debug, Clone, Copy)]
+pub struct TlsLoop {
+    /// Sequential iterations (epochs).
+    pub epochs: u64,
+    /// Epoch body.
+    pub kernel: KernelSpec,
+    /// Probability an epoch carries a RAW dependence on its predecessor.
+    pub dep_frac: f64,
+    /// Integer ops inside the ordered-commit critical section.
+    pub commit_ops: u8,
+}
+
+impl TlsLoop {
+    /// A representative pointer-chasing integer loop — the kind TLS
+    /// targets: not statically parallelizable, and with so little ILP that
+    /// a wide sequential core cannot help (`carried` recurrence pins it).
+    pub fn demo(epochs: u64, dep_frac: f64) -> Self {
+        TlsLoop {
+            epochs,
+            kernel: KernelSpec {
+                chains: 1,
+                depth: 6,
+                mix: OpMix::Mixed,
+                loads: 2,
+                stores: 1,
+                carried: true,
+                noise_branch: 0.03,
+            },
+            dep_frac,
+            commit_ops: 3,
+        }
+    }
+
+    /// Epochs that violate (deterministic per seed): epoch 0 never does.
+    fn violations(&self, seed: u64) -> Vec<bool> {
+        let mut rng = SplitMix64::new(seed ^ 0x71_5);
+        (0..self.epochs)
+            .map(|e| e > 0 && rng.chance(self.dep_frac))
+            .collect()
+    }
+}
+
+/// Lock id reserved for the commit token.
+const COMMIT_LOCK: u32 = 0xC0117;
+
+/// Build the speculative threads' instruction streams. With `n_threads ==
+/// 1` this is plain sequential execution: no violations, no commit token.
+pub fn tls_streams(
+    l: &TlsLoop,
+    n_threads: usize,
+    seed: u64,
+) -> Vec<Box<dyn InstStream + Send>> {
+    assert!(n_threads >= 1);
+    let violations = l.violations(seed);
+    let speculative = n_threads > 1;
+    (0..n_threads)
+        .map(|t| {
+            let mut phases = Vec::new();
+            let mut epoch = t as u64;
+            while epoch < l.epochs {
+                // A violated epoch executes twice: the squashed attempt and
+                // the replay. Both are full executions through the pipeline;
+                // only the replay's results survive architecturally, but the
+                // machine time of both is the TLS cost being measured.
+                let executions = if speculative && violations[epoch as usize] { 2 } else { 1 };
+                for attempt in 0..executions {
+                    let cursors = |n: usize, tag: u64| -> Vec<AddrCursor> {
+                        (0..n)
+                            .map(|k| {
+                                AddrCursor::new(
+                                    AddrMode::Stride {
+                                        layout: Layout::shared(
+                                            tag * (1 << 22) + k as u64 * ((1 << 20) + 4096 + 192),
+                                        ),
+                                        stride: 8,
+                                        footprint: 1 << 16,
+                                    },
+                                    seed ^ epoch << 8 ^ k as u64,
+                                )
+                            })
+                            .collect()
+                    };
+                    phases.push(Phase::Kernel(KernelInstance::new(
+                        l.kernel,
+                        0x7_0000,
+                        // Epoch length: a fixed iteration count per epoch,
+                        // sized so the body dominates the ordered-commit
+                        // serialization (TLS needs coarse enough grains).
+                        80,
+                        cursors(l.kernel.loads as usize, 1),
+                        cursors(l.kernel.stores as usize, 2),
+                        seed ^ (epoch << 16) ^ attempt,
+                        None,
+                    )));
+                }
+                if speculative {
+                    // Ordered commit: serialize through the commit token.
+                    phases.push(Phase::Sync(SyncOp::LockAcquire(COMMIT_LOCK)));
+                    phases.push(Phase::Kernel(KernelInstance::new(
+                        KernelSpec {
+                            chains: 1,
+                            depth: l.commit_ops.max(1),
+                            mix: OpMix::Integer,
+                            loads: 0,
+                            stores: 0,
+                            carried: false,
+                            noise_branch: 0.0,
+                        },
+                        0x7_8000,
+                        1,
+                        vec![],
+                        vec![],
+                        seed ^ epoch,
+                        None,
+                    )));
+                    phases.push(Phase::Sync(SyncOp::LockRelease(COMMIT_LOCK)));
+                }
+                epoch += n_threads as u64;
+            }
+            Box::new(ProgramStream::new(phases)) as Box<dyn InstStream + Send>
+        })
+        .collect()
+}
+
+/// Outcome of one TLS run.
+#[derive(Debug, Clone)]
+pub struct TlsResult {
+    /// Full machine statistics.
+    pub run: RunResult,
+    /// Epochs whose first execution was squashed.
+    pub violated_epochs: u64,
+    /// Total epoch executions (epochs + replays).
+    pub epoch_executions: u64,
+}
+
+impl TlsResult {
+    /// Fraction of epoch executions that survived (1.0 = no waste).
+    pub fn speculative_efficiency(&self) -> f64 {
+        (self.epoch_executions - self.violated_epochs) as f64 / self.epoch_executions as f64
+    }
+}
+
+/// Run `l` speculatively across all hardware contexts of `chip` (1 chip).
+pub fn simulate_tls(l: &TlsLoop, chip: ChipConfig, seed: u64) -> TlsResult {
+    let mut machine = Machine::new(chip, 1, MemConfig::table3(), seed);
+    let n = machine.hw_thread_capacity();
+    machine.attach_threads(tls_streams(l, n, seed));
+    let run = machine.run(2_000_000_000);
+    let violated = if n > 1 {
+        l.violations(seed).iter().filter(|&&v| v).count() as u64
+    } else {
+        0
+    };
+    TlsResult {
+        run,
+        violated_epochs: violated,
+        epoch_executions: l.epochs + violated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csmt_core::ArchKind;
+
+    #[test]
+    fn sequential_execution_has_no_violations() {
+        let l = TlsLoop::demo(40, 0.5);
+        let r = simulate_tls(&l, ArchKind::Fa1.chip(), 7);
+        assert_eq!(r.violated_epochs, 0);
+        assert_eq!(r.epoch_executions, 40);
+        assert!((r.speculative_efficiency() - 1.0).abs() < 1e-12);
+        assert_eq!(r.run.lock_acquisitions, 0, "no commit token needed");
+    }
+
+    #[test]
+    fn violations_scale_with_dependence_density() {
+        let low = simulate_tls(&TlsLoop::demo(200, 0.1), ArchKind::Smt2.chip(), 7);
+        let high = simulate_tls(&TlsLoop::demo(200, 0.6), ArchKind::Smt2.chip(), 7);
+        assert!(low.violated_epochs < high.violated_epochs);
+        assert!(high.speculative_efficiency() < 0.75);
+        assert!(low.speculative_efficiency() > 0.85);
+    }
+
+    #[test]
+    fn independent_loop_speeds_up_speculatively() {
+        let l = TlsLoop::demo(160, 0.0);
+        let seq = simulate_tls(&l, ArchKind::Fa1.chip(), 7);
+        let tls = simulate_tls(&l, ArchKind::Smt2.chip(), 7);
+        assert!(
+            (tls.run.cycles as f64) < seq.run.cycles as f64 * 0.6,
+            "dep-free TLS should fly: {} vs {}",
+            tls.run.cycles,
+            seq.run.cycles
+        );
+    }
+
+    #[test]
+    fn dependence_density_erodes_the_speedup() {
+        let seq = simulate_tls(&TlsLoop::demo(160, 0.0), ArchKind::Fa1.chip(), 7);
+        let speedup = |dep: f64| {
+            let t = simulate_tls(&TlsLoop::demo(160, dep), ArchKind::Smt2.chip(), 7);
+            seq.run.cycles as f64 / t.run.cycles as f64
+        };
+        let s0 = speedup(0.0);
+        let s6 = speedup(0.6);
+        assert!(s0 > s6, "speedup must erode: {s0:.2} vs {s6:.2}");
+    }
+
+    #[test]
+    fn commit_token_is_exercised() {
+        let l = TlsLoop::demo(60, 0.2);
+        let r = simulate_tls(&l, ArchKind::Smt2.chip(), 7);
+        assert_eq!(r.run.lock_acquisitions, 60, "one ordered commit per epoch");
+    }
+
+    #[test]
+    fn deterministic() {
+        let l = TlsLoop::demo(80, 0.3);
+        let a = simulate_tls(&l, ArchKind::Smt4.chip(), 9);
+        let b = simulate_tls(&l, ArchKind::Smt4.chip(), 9);
+        assert_eq!(a.run.cycles, b.run.cycles);
+        assert_eq!(a.violated_epochs, b.violated_epochs);
+    }
+}

@@ -1,0 +1,71 @@
+//! The §2 model of parallelism as a working tool: chart any application
+//! point, see what each architecture delivers, and where the point falls in
+//! the three-region classification. Renders an ASCII version of the
+//! paper's Figure 1 chart with the SMT2 envelope.
+//!
+//! ```sh
+//! cargo run --release --example parallelism_model [threads] [ilp]
+//! ```
+
+use clustered_smt::prelude::*;
+use csmt_model::{envelope, ranking, Region};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let threads: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(6.0);
+    let ilp: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(5.0);
+    let a = AppPoint::new(threads, ilp);
+
+    println!("Application A = ({threads} threads, {ilp} ILP), potential {:.0} IPC\n", a.potential());
+
+    // ASCII chart: x = threads 0..8, y = ILP 0..8, SMT2 envelope + A.
+    let smt2 = ArchModel::Smt { clusters: 2 };
+    let env = envelope(smt2, 33);
+    println!("ILP/thread (SMT2 envelope '·', application 'A'):");
+    for row in (1..=8).rev() {
+        let y = row as f64;
+        let mut line = format!("{y:>2} |");
+        for col in 0..=32 {
+            let x = 0.25 + (8.0 - 0.25) * col as f64 / 32.0;
+            let on_env = env
+                .iter()
+                .any(|&(ex, ey)| (ex - x).abs() < 0.15 && (ey - y).abs() < 0.45);
+            let is_a = (x - threads).abs() < 0.15 && (y - ilp).abs() < 0.45;
+            line.push(if is_a {
+                'A'
+            } else if on_env {
+                '·'
+            } else {
+                ' '
+            });
+        }
+        println!("{line}");
+    }
+    println!("   +{}", "-".repeat(33));
+    println!("    0        2        4        6        8  threads\n");
+
+    let archs = [
+        ArchModel::Fa { clusters: 8 },
+        ArchModel::Fa { clusters: 4 },
+        ArchModel::Fa { clusters: 2 },
+        ArchModel::Fa { clusters: 1 },
+        ArchModel::Smt { clusters: 4 },
+        ArchModel::Smt { clusters: 2 },
+        ArchModel::Smt { clusters: 1 },
+    ];
+    println!("{:<6} {:>10} {:>12} {:>12}", "arch", "delivered", "utilization", "region");
+    for (m, d) in ranking(&archs, a) {
+        let region = match m.region(a) {
+            Region::AppExploited => "1: app maxed",
+            Region::Optimal => "2: OPTIMAL",
+            Region::BothUnderUtilized => "3: both under",
+        };
+        println!(
+            "{:<6} {:>10.1} {:>11.0}% {:>13}",
+            m.name(),
+            d,
+            m.utilization(a) * 100.0,
+            region
+        );
+    }
+}

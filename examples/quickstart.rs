@@ -1,0 +1,62 @@
+//! Quickstart: simulate one application on the paper's headline SMT2 chip
+//! and print the §4.1 issue-slot breakdown.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [app] [arch] [chips] [scale]
+//! ```
+//! Defaults: ocean on SMT2, low-end (1 chip), scale 0.5.
+
+use clustered_smt::prelude::*;
+use csmt_core::ArchKind;
+
+fn parse_arch(name: &str) -> Option<ArchKind> {
+    ArchKind::ALL.into_iter().find(|a| a.name().eq_ignore_ascii_case(name))
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let app_name = args.next().unwrap_or_else(|| "ocean".into());
+    let arch = args
+        .next()
+        .and_then(|s| parse_arch(&s))
+        .unwrap_or(ArchKind::Smt2);
+    let chips: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.5);
+
+    let app = by_name(&app_name).unwrap_or_else(|| {
+        eprintln!("unknown app {app_name}; pick one of: swim tomcatv mgrid vpenta fmm ocean");
+        std::process::exit(1);
+    });
+
+    println!(
+        "Simulating {} on {} ({} chip{}, scale {scale})...",
+        app.name,
+        arch.name(),
+        chips,
+        if chips == 1 { "" } else { "s" }
+    );
+    let r = simulate(&app, arch, chips, scale, 42);
+
+    println!("\nthreads created     : {}", r.threads);
+    println!("execution time      : {} cycles", r.cycles);
+    println!("useful IPC          : {:.2}", r.ipc());
+    println!("avg running threads : {:.2}", r.avg_running_threads);
+    println!("ILP per thread      : {:.2}", r.ilp_per_thread());
+    println!("branch mispredicts  : {} ({:.2}%)", r.branch_mispredicts, r.mispredict_rate() * 100.0);
+    println!("barriers / locks    : {} / {}", r.barrier_episodes, r.lock_acquisitions);
+
+    println!("\nIssue-slot breakdown (paper §4.1):");
+    let b = r.breakdown();
+    let labels = ["useful", "other", "structural", "memory", "data", "control", "sync", "fetch"];
+    for (label, frac) in labels.iter().zip(b) {
+        let bar = "#".repeat((frac * 60.0).round() as usize);
+        println!("  {label:<10} {:>5.1}% {bar}", frac * 100.0);
+    }
+
+    println!("\nMemory system:");
+    println!("  accesses   : {}", r.mem.accesses);
+    println!("  L1 hit rate: {:.1}%", r.mem.l1_hit_rate() * 100.0);
+    println!("  remote     : {:.1}%", r.mem.remote_fraction() * 100.0);
+    println!("  writebacks : {}", r.mem.writebacks);
+    println!("  upgrades   : {}", r.mem.upgrades);
+}

@@ -1,0 +1,79 @@
+//! §5.1.1 of the paper compares the simulated results with the §2 analytic
+//! model's predictions. These tests close the same loop: measure each
+//! application's (threads, ILP) point, feed it to the model, and check the
+//! model's qualitative predictions against the simulator.
+
+use clustered_smt::prelude::*;
+use csmt_core::ArchKind;
+use csmt_model::ranking;
+
+const SCALE: f64 = 0.25;
+const SEED: u64 = 0xC5_317;
+
+fn measure_point(app: &AppSpec) -> AppPoint {
+    let fa8 = simulate(app, ArchKind::Fa8, 1, SCALE, SEED);
+    let fa1 = simulate(app, ArchKind::Fa1, 1, SCALE, SEED);
+    AppPoint::new(fa8.avg_running_threads.max(0.1), fa1.ipc().max(0.1))
+}
+
+/// For the applications at the extremes of the chart (vpenta, ocean:
+/// thread-rich/ILP-poor), the model and the simulator agree on the best FA.
+#[test]
+fn model_and_simulator_agree_on_extreme_apps() {
+    let fas = [
+        csmt_model::ArchModel::Fa { clusters: 8 },
+        csmt_model::ArchModel::Fa { clusters: 4 },
+        csmt_model::ArchModel::Fa { clusters: 2 },
+        csmt_model::ArchModel::Fa { clusters: 1 },
+    ];
+    for name in ["vpenta", "ocean"] {
+        let app = by_name(name).unwrap();
+        let point = measure_point(&app);
+        let model_best = ranking(&fas, point)[0].0.name();
+        let mut sim_best = (ArchKind::Fa8, u64::MAX);
+        for arch in [ArchKind::Fa8, ArchKind::Fa4, ArchKind::Fa2, ArchKind::Fa1] {
+            let c = simulate(&app, arch, 1, SCALE, SEED).cycles;
+            if c < sim_best.1 {
+                sim_best = (arch, c);
+            }
+        }
+        assert_eq!(
+            model_best,
+            sim_best.0.name(),
+            "{name} at {point:?}: model {model_best} vs simulated {}",
+            sim_best.0.name()
+        );
+    }
+}
+
+/// The model's core theorem — SMT2 delivered ≥ FA2 delivered for every
+/// application point — is mirrored by the simulator on every measured app.
+#[test]
+fn smt2_dominates_fa2_in_model_and_simulation() {
+    for app in all_apps() {
+        let point = measure_point(&app);
+        let m_fa2 = csmt_model::ArchModel::Fa { clusters: 2 }.delivered(point);
+        let m_smt2 = csmt_model::ArchModel::Smt { clusters: 2 }.delivered(point);
+        assert!(m_smt2 >= m_fa2 - 1e-9, "{}: model violated", app.name);
+        let s_fa2 = simulate(&app, ArchKind::Fa2, 1, SCALE, SEED).cycles as f64;
+        let s_smt2 = simulate(&app, ArchKind::Smt2, 1, SCALE, SEED).cycles as f64;
+        assert!(s_smt2 <= s_fa2 * 1.03, "{}: sim violated ({s_smt2} vs {s_fa2})", app.name);
+    }
+}
+
+/// Model sanity against the measured chart: every measured application
+/// point lies inside the chart (0 < threads ≤ 8, ILP ≤ 8) and the
+/// delivered performance on SMT1 upper-bounds every other architecture.
+#[test]
+fn measured_points_live_on_the_chart() {
+    for app in all_apps() {
+        let p = measure_point(&app);
+        assert!(p.threads > 0.0 && p.threads <= 8.0, "{}: {p:?}", app.name);
+        assert!(p.ilp > 0.0 && p.ilp <= 8.0, "{}: {p:?}", app.name);
+        let smt1 = csmt_model::ArchModel::Smt { clusters: 1 };
+        for c in [2u32, 4, 8] {
+            let m = csmt_model::ArchModel::Smt { clusters: c };
+            assert!(smt1.delivered(p) >= m.delivered(p) - 1e-9);
+        }
+    }
+}
