@@ -21,15 +21,44 @@ fn bench_ablations(c: &mut Criterion) {
     let app = apps::ocean();
     let variants: Vec<(&str, MemConfig)> = vec![
         ("baseline_table3", MemConfig::table3()),
-        ("banks_1", MemConfig { l1_banks: 1, l2_banks: 1, ..MemConfig::table3() }),
-        ("banks_16", MemConfig { l1_banks: 16, l2_banks: 16, ..MemConfig::table3() }),
-        ("mshr_4", MemConfig { max_outstanding_loads: 4, ..MemConfig::table3() }),
-        ("remote_2x", MemConfig {
-            remote_mem_latency: 120,
-            remote_l2_latency: 150,
-            ..MemConfig::table3()
-        }),
-        ("no_fill_occupancy", MemConfig { fill_time: 0, ..MemConfig::table3() }),
+        (
+            "banks_1",
+            MemConfig {
+                l1_banks: 1,
+                l2_banks: 1,
+                ..MemConfig::table3()
+            },
+        ),
+        (
+            "banks_16",
+            MemConfig {
+                l1_banks: 16,
+                l2_banks: 16,
+                ..MemConfig::table3()
+            },
+        ),
+        (
+            "mshr_4",
+            MemConfig {
+                max_outstanding_loads: 4,
+                ..MemConfig::table3()
+            },
+        ),
+        (
+            "remote_2x",
+            MemConfig {
+                remote_mem_latency: 120,
+                remote_l2_latency: 150,
+                ..MemConfig::table3()
+            },
+        ),
+        (
+            "no_fill_occupancy",
+            MemConfig {
+                fill_time: 0,
+                ..MemConfig::table3()
+            },
+        ),
     ];
     for (name, cfg) in variants {
         g.bench_function(format!("ocean_smt2_4chip/{name}"), |b| {

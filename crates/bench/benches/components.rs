@@ -93,7 +93,11 @@ fn bench_memory_system(c: &mut Criterion) {
             now += 2;
             let addr = rng.below(1 << 24);
             let node = rng.below_usize(4);
-            let kind = if rng.chance(0.25) { AccessKind::Write } else { AccessKind::Read };
+            let kind = if rng.chance(0.25) {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
             black_box(m.access(node, addr, kind, now))
         })
     });

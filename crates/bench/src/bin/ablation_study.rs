@@ -15,30 +15,85 @@ use csmt_mem::MemConfig;
 use csmt_workloads::{all_apps, runner::simulate_with_mem};
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
     let variants: Vec<(&str, MemConfig)> = vec![
         ("table3 (baseline)", MemConfig::table3()),
-        ("1 bank/level", MemConfig { l1_banks: 1, l2_banks: 1, ..MemConfig::table3() }),
-        ("16 banks/level", MemConfig { l1_banks: 16, l2_banks: 16, ..MemConfig::table3() }),
-        ("4 MSHRs", MemConfig { max_outstanding_loads: 4, ..MemConfig::table3() }),
-        ("2x remote latency", MemConfig {
-            remote_mem_latency: 120,
-            remote_l2_latency: 150,
-            ..MemConfig::table3()
-        }),
-        ("no fill occupancy", MemConfig { fill_time: 0, ..MemConfig::table3() }),
-        ("FIFO replacement", MemConfig { replacement: csmt_mem::Replacement::Fifo, ..MemConfig::table3() }),
-        ("random replacement", MemConfig { replacement: csmt_mem::Replacement::Random, ..MemConfig::table3() }),
+        (
+            "1 bank/level",
+            MemConfig {
+                l1_banks: 1,
+                l2_banks: 1,
+                ..MemConfig::table3()
+            },
+        ),
+        (
+            "16 banks/level",
+            MemConfig {
+                l1_banks: 16,
+                l2_banks: 16,
+                ..MemConfig::table3()
+            },
+        ),
+        (
+            "4 MSHRs",
+            MemConfig {
+                max_outstanding_loads: 4,
+                ..MemConfig::table3()
+            },
+        ),
+        (
+            "2x remote latency",
+            MemConfig {
+                remote_mem_latency: 120,
+                remote_l2_latency: 150,
+                ..MemConfig::table3()
+            },
+        ),
+        (
+            "no fill occupancy",
+            MemConfig {
+                fill_time: 0,
+                ..MemConfig::table3()
+            },
+        ),
+        (
+            "FIFO replacement",
+            MemConfig {
+                replacement: csmt_mem::Replacement::Fifo,
+                ..MemConfig::table3()
+            },
+        ),
+        (
+            "random replacement",
+            MemConfig {
+                replacement: csmt_mem::Replacement::Random,
+                ..MemConfig::table3()
+            },
+        ),
     ];
     for chips in [1usize, 4] {
-        println!("== {} machine ==", if chips == 1 { "low-end" } else { "high-end (4-chip)" });
-        println!("{:<20} {:>10} {:>10} {:>12}", "variant", "FA2 (cyc)", "SMT2 (cyc)", "SMT2 speedup");
+        println!(
+            "== {} machine ==",
+            if chips == 1 {
+                "low-end"
+            } else {
+                "high-end (4-chip)"
+            }
+        );
+        println!(
+            "{:<20} {:>10} {:>10} {:>12}",
+            "variant", "FA2 (cyc)", "SMT2 (cyc)", "SMT2 speedup"
+        );
         for (name, cfg) in &variants {
             let mut fa2 = 0u64;
             let mut smt2 = 0u64;
             for app in all_apps() {
                 fa2 += simulate_with_mem(&app, ArchKind::Fa2, chips, scale, 7, cfg.clone()).cycles;
-                smt2 += simulate_with_mem(&app, ArchKind::Smt2, chips, scale, 7, cfg.clone()).cycles;
+                smt2 +=
+                    simulate_with_mem(&app, ArchKind::Smt2, chips, scale, 7, cfg.clone()).cycles;
             }
             println!(
                 "{:<20} {:>10} {:>10} {:>11.2}x",

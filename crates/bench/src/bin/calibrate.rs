@@ -14,7 +14,10 @@ fn main() {
     println!("scale = {scale}\n");
 
     println!("-- Figure 6 coordinates (low-end) --");
-    println!("{:<8} {:>8} {:>8} {:>10} {:>10}", "app", "threads", "ilp", "fa8_cyc", "fa1_cyc");
+    println!(
+        "{:<8} {:>8} {:>8} {:>10} {:>10}",
+        "app", "threads", "ilp", "fa8_cyc", "fa1_cyc"
+    );
     for app in all_apps() {
         let fa8 = simulate(&app, ArchKind::Fa8, 1, scale, 1);
         let fa1 = simulate(&app, ArchKind::Fa1, 1, scale, 1);

@@ -10,7 +10,10 @@ use csmt_core::ArchKind;
 use csmt_workloads::all_apps;
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(FIGURE_SCALE);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(FIGURE_SCALE);
     let archs = [
         ArchKind::Fa8,
         ArchKind::Fa4,
@@ -20,7 +23,12 @@ fn main() {
         ArchKind::Smt2,
         ArchKind::Smt1,
     ];
-    println!("clock factors: {}", archs.map(|a| format!("{}={}", a.name(), cycle_time_factor(a))).join("  "));
+    println!(
+        "clock factors: {}",
+        archs
+            .map(|a| format!("{}={}", a.name(), cycle_time_factor(a)))
+            .join("  ")
+    );
     let rows = run_figure(&archs, &all_apps(), 1, ArchKind::Fa8, scale);
     println!(
         "\n{:<8} {:<6} {:>10} {:>12} {:>10}",
@@ -43,6 +51,10 @@ fn main() {
                 best = Some((cell.arch.name(), t));
             }
         }
-        println!("{:<8} -> best after clock adjustment: {}\n", row.app, best.unwrap().0);
+        println!(
+            "{:<8} -> best after clock adjustment: {}\n",
+            row.app,
+            best.unwrap().0
+        );
     }
 }

@@ -3,8 +3,98 @@
 //! calibrate the workload models against the paper's hazard profiles.
 //!
 //! Usage: `diagnose [app] [scale] [chips]` (defaults: vpenta, 0.3, 1).
-use csmt_core::ArchKind;
-use csmt_workloads::{by_name, simulate};
+//!
+//! Observability (see `csmt-trace` and the Observability section of
+//! DESIGN.md):
+//!
+//! * `CSMT_TRACE_OUT=<dir>` — write per-architecture traces into `<dir>`:
+//!   `heartbeat_<arch>.jsonl` (interval heartbeats) and
+//!   `pipeview_<arch>.trace` (gem5 O3PipeView format, loadable in Konata;
+//!   capped at 200k instruction records per architecture).
+//! * `CSMT_TRACE_INTERVAL=<n>` — heartbeat interval in cycles
+//!   (default 1000).
+//!
+//! Always writes a machine-readable summary, `BENCH_diagnose.json`, into
+//! `CSMT_JSON_DIR` (or the current directory): per architecture the full
+//! serialized `RunResult` plus the derived cycles/IPC/hazard-fraction
+//! summary row.
+use std::path::PathBuf;
+
+use csmt_core::{ArchKind, RunResult};
+use csmt_cpu::Hazard;
+use csmt_trace::{IntervalSampler, PipeviewProbe, StatsRegistry};
+use csmt_workloads::{by_name, simulate_probed, AppSpec};
+use serde::Value;
+
+/// Keeps O3PipeView output bounded (~200 bytes/record).
+const PIPEVIEW_MAX_RECORDS: u64 = 200_000;
+
+fn trace_config() -> (Option<PathBuf>, u64) {
+    let dir = std::env::var_os("CSMT_TRACE_OUT").map(PathBuf::from);
+    let interval = std::env::var("CSMT_TRACE_INTERVAL")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1000);
+    (dir, interval)
+}
+
+fn run_one(
+    app: &AppSpec,
+    arch: ArchKind,
+    chips: usize,
+    scale: f64,
+    trace_dir: Option<&PathBuf>,
+    interval: u64,
+) -> RunResult {
+    let mem = csmt_mem::MemConfig::table3();
+    match trace_dir {
+        None => simulate_probed(
+            app,
+            arch.chip(),
+            chips,
+            scale,
+            1,
+            mem,
+            &mut csmt_trace::NullProbe,
+        ),
+        Some(dir) => {
+            let mut probe = (
+                IntervalSampler::create(
+                    dir.join(format!("heartbeat_{}.jsonl", arch.name())),
+                    interval,
+                )
+                .expect("CSMT_TRACE_OUT must be writable"),
+                PipeviewProbe::with_limit(
+                    std::io::BufWriter::new(
+                        std::fs::File::create(dir.join(format!("pipeview_{}.trace", arch.name())))
+                            .expect("CSMT_TRACE_OUT must be writable"),
+                    ),
+                    PIPEVIEW_MAX_RECORDS,
+                ),
+            );
+            let r = simulate_probed(app, arch.chip(), chips, scale, 1, mem, &mut probe);
+            probe.0.finish().expect("heartbeat flush");
+            probe.1.finish().expect("pipeview flush");
+            r
+        }
+    }
+}
+
+/// The summary row of one architecture: cycles, IPC, hazard fractions.
+fn summary_row(r: &RunResult) -> Value {
+    let b = r.breakdown();
+    let mut hazards = vec![("useful".to_string(), Value::F64(b[0]))];
+    for h in Hazard::ALL {
+        hazards.push((h.label().to_string(), Value::F64(b[1 + h.index()])));
+    }
+    Value::Object(vec![
+        ("arch".into(), Value::Str(r.arch.clone())),
+        ("cycles".into(), Value::U64(r.cycles)),
+        ("ipc".into(), Value::F64(r.ipc())),
+        ("fractions".into(), Value::Object(hazards)),
+    ])
+}
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -12,8 +102,24 @@ fn main() {
     let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.3);
     let chips: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
     let app = by_name(&app_name).expect("unknown application");
-    for arch in [ArchKind::Fa8, ArchKind::Fa4, ArchKind::Fa2, ArchKind::Fa1, ArchKind::Smt2] {
-        let r = simulate(&app, arch, chips, scale, 1);
+    let (trace_dir, interval) = trace_config();
+    if let Some(dir) = &trace_dir {
+        std::fs::create_dir_all(dir).expect("CSMT_TRACE_OUT must be creatable");
+    }
+
+    let mut registry = StatsRegistry::new();
+    registry.record("app", app.name);
+    registry.record("scale", &scale);
+    registry.record("chips", &(chips as u64));
+    let mut summaries = Vec::new();
+    for arch in [
+        ArchKind::Fa8,
+        ArchKind::Fa4,
+        ArchKind::Fa2,
+        ArchKind::Fa1,
+        ArchKind::Smt2,
+    ] {
+        let r = run_one(&app, arch, chips, scale, trace_dir.as_ref(), interval);
         let b = r.breakdown();
         println!(
             "{:<5} cycles={:>8} ipc={:.2} useful={:.1}% mem={:.1}% data={:.1}% sync={:.1}% fetch={:.1}% struct={:.1}%",
@@ -24,6 +130,24 @@ fn main() {
             "      acc={} l1={} l2={} locmem={} merges={} tlb={} wb={} contention={} (per-acc {:.1})",
             m.accesses, m.l1_hits, m.l2_hits, m.local_mem, m.mshr_merges, m.tlb_misses, m.writebacks,
             m.contention_wait, m.contention_wait as f64 / m.accesses.max(1) as f64
+        );
+        summaries.push(summary_row(&r));
+        registry.record(&format!("result_{}", arch.name()), &r);
+    }
+    registry.record_value("summary", Value::Array(summaries));
+
+    let out_dir = std::env::var_os("CSMT_JSON_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_default();
+    let path = out_dir.join("BENCH_diagnose.json");
+    registry
+        .write_json(&path)
+        .expect("summary JSON must be writable");
+    println!("wrote {}", path.display());
+    if let Some(dir) = &trace_dir {
+        println!(
+            "traces in {} (heartbeat_*.jsonl, pipeview_*.trace)",
+            dir.display()
         );
     }
 }

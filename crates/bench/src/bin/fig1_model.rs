@@ -25,7 +25,10 @@ fn main() {
     for clusters in [1u32, 2, 4, 8] {
         let m = ArchModel::Smt { clusters };
         let pts = envelope(m, 8);
-        let line: Vec<String> = pts.iter().map(|(x, y)| format!("({x:.1},{y:.1})")).collect();
+        let line: Vec<String> = pts
+            .iter()
+            .map(|(x, y)| format!("({x:.1},{y:.1})"))
+            .collect();
         println!("  {:<5} {}", m.name(), line.join(" "));
     }
 

@@ -12,12 +12,21 @@ use csmt_core::ArchKind;
 use csmt_workloads::all_apps;
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(FIGURE_SCALE);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(FIGURE_SCALE);
     let rows = run_figure(&ArchKind::FA_FIGURES, &all_apps(), 1, ArchKind::Fa8, scale);
     if let Some(p) = write_json(&rows, "fig4") {
         eprintln!("wrote {}", p.display());
     }
-    print!("{}", render_figure("Figure 4 — FA vs clustered SMT, low-end machine (normalized to FA8)", &rows));
+    print!(
+        "{}",
+        render_figure(
+            "Figure 4 — FA vs clustered SMT, low-end machine (normalized to FA8)",
+            &rows
+        )
+    );
     // Paper headline: SMT2 best on every application; report the margin.
     for row in &rows {
         let best_fa = row

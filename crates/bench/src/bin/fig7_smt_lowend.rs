@@ -11,12 +11,27 @@ use csmt_core::ArchKind;
 use csmt_workloads::all_apps;
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(FIGURE_SCALE);
-    let rows = run_figure(&ArchKind::SMT_FIGURES, &all_apps(), 1, ArchKind::Smt8, scale);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(FIGURE_SCALE);
+    let rows = run_figure(
+        &ArchKind::SMT_FIGURES,
+        &all_apps(),
+        1,
+        ArchKind::Smt8,
+        scale,
+    );
     if let Some(p) = write_json(&rows, "fig7") {
         eprintln!("wrote {}", p.display());
     }
-    print!("{}", render_figure("Figure 7 — centralized vs clustered SMT, low-end machine (normalized to SMT8)", &rows));
+    print!(
+        "{}",
+        render_figure(
+            "Figure 7 — centralized vs clustered SMT, low-end machine (normalized to SMT8)",
+            &rows
+        )
+    );
     for row in &rows {
         let smt1 = row.cell(ArchKind::Smt1);
         let smt2 = row.cell(ArchKind::Smt2);

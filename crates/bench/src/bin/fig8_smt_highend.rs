@@ -11,8 +11,17 @@ use csmt_core::ArchKind;
 use csmt_workloads::all_apps;
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(FIGURE_SCALE);
-    let rows = run_figure(&ArchKind::SMT_FIGURES, &all_apps(), 4, ArchKind::Smt8, scale);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(FIGURE_SCALE);
+    let rows = run_figure(
+        &ArchKind::SMT_FIGURES,
+        &all_apps(),
+        4,
+        ArchKind::Smt8,
+        scale,
+    );
     if let Some(p) = write_json(&rows, "fig8") {
         eprintln!("wrote {}", p.display());
     }

@@ -10,7 +10,10 @@ use csmt_core::ArchKind;
 use csmt_workloads::{simulate_tls, TlsLoop};
 
 fn main() {
-    let epochs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(240);
+    let epochs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(240);
     let seq = simulate_tls(&TlsLoop::demo(epochs, 0.0), ArchKind::Fa1.chip(), 7);
     println!(
         "sequential baseline (FA1, 1 thread): {} cycles for {} epochs\n",
@@ -21,7 +24,12 @@ fn main() {
         "dep", "arch", "cycles", "speedup", "violations", "efficiency"
     );
     for dep in [0.0, 0.1, 0.3, 0.6, 0.9] {
-        for arch in [ArchKind::Fa8, ArchKind::Smt4, ArchKind::Smt2, ArchKind::Smt1] {
+        for arch in [
+            ArchKind::Fa8,
+            ArchKind::Smt4,
+            ArchKind::Smt2,
+            ArchKind::Smt1,
+        ] {
             let l = TlsLoop::demo(epochs, dep);
             let r = simulate_tls(&l, arch.chip(), 7);
             println!(

@@ -46,7 +46,10 @@ impl AppRow {
 
     /// Cell for a given architecture.
     pub fn cell(&self, arch: ArchKind) -> &Cell {
-        self.cells.iter().find(|c| c.arch == arch).expect("arch in row")
+        self.cells
+            .iter()
+            .find(|c| c.arch == arch)
+            .expect("arch in row")
     }
 }
 
@@ -91,7 +94,10 @@ pub fn run_figure(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("sim thread")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sim thread"))
+            .collect()
     });
     rows
 }
@@ -222,7 +228,13 @@ mod tests {
     #[test]
     fn run_figure_normalizes_baseline_to_100() {
         let apps = vec![by_name("vpenta").unwrap()];
-        let rows = run_figure(&[ArchKind::Fa8, ArchKind::Smt2], &apps, 1, ArchKind::Fa8, 0.02);
+        let rows = run_figure(
+            &[ArchKind::Fa8, ArchKind::Smt2],
+            &apps,
+            1,
+            ArchKind::Fa8,
+            0.02,
+        );
         let base = rows[0].cell(ArchKind::Fa8);
         assert!((base.normalized - 100.0).abs() < 1e-9);
     }
@@ -257,7 +269,13 @@ mod tests {
     #[test]
     fn render_produces_a_row_per_arch() {
         let apps = vec![by_name("mgrid").unwrap()];
-        let rows = run_figure(&[ArchKind::Fa8, ArchKind::Fa4], &apps, 1, ArchKind::Fa8, 0.02);
+        let rows = run_figure(
+            &[ArchKind::Fa8, ArchKind::Fa4],
+            &apps,
+            1,
+            ArchKind::Fa8,
+            0.02,
+        );
         let text = render_figure("test", &rows);
         assert!(text.contains("FA8"));
         assert!(text.contains("FA4"));

@@ -38,12 +38,21 @@ pub enum ArchKind {
 
 impl ArchKind {
     /// The five architectures compared in Figures 4 and 5.
-    pub const FA_FIGURES: [ArchKind; 5] =
-        [ArchKind::Fa8, ArchKind::Fa4, ArchKind::Fa2, ArchKind::Fa1, ArchKind::Smt2];
+    pub const FA_FIGURES: [ArchKind; 5] = [
+        ArchKind::Fa8,
+        ArchKind::Fa4,
+        ArchKind::Fa2,
+        ArchKind::Fa1,
+        ArchKind::Smt2,
+    ];
 
     /// The four architectures compared in Figures 7 and 8.
-    pub const SMT_FIGURES: [ArchKind; 4] =
-        [ArchKind::Smt8, ArchKind::Smt4, ArchKind::Smt2, ArchKind::Smt1];
+    pub const SMT_FIGURES: [ArchKind; 4] = [
+        ArchKind::Smt8,
+        ArchKind::Smt4,
+        ArchKind::Smt2,
+        ArchKind::Smt1,
+    ];
 
     /// All distinct configurations.
     pub const ALL: [ArchKind; 8] = [
@@ -107,7 +116,11 @@ impl ChipConfig {
     pub fn fixed_assignment(kind: ArchKind, n: usize) -> Self {
         assert!(CHIP_ISSUE_WIDTH.is_multiple_of(n));
         let width = CHIP_ISSUE_WIDTH / n;
-        ChipConfig { kind, clusters: n, cluster: ClusterConfig::for_width(width, 1) }
+        ChipConfig {
+            kind,
+            clusters: n,
+            cluster: ClusterConfig::for_width(width, 1),
+        }
     }
 
     /// A clustered SMT chip: `n` clusters of width `8/n`, each supporting
@@ -115,7 +128,11 @@ impl ChipConfig {
     pub fn clustered_smt(kind: ArchKind, n: usize) -> Self {
         assert!(CHIP_ISSUE_WIDTH.is_multiple_of(n));
         let width = CHIP_ISSUE_WIDTH / n;
-        ChipConfig { kind, clusters: n, cluster: ClusterConfig::for_width(width, width) }
+        ChipConfig {
+            kind,
+            clusters: n,
+            cluster: ClusterConfig::for_width(width, width),
+        }
     }
 
     /// Hardware thread contexts on the whole chip (Table 2's bracketed

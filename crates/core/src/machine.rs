@@ -17,6 +17,7 @@ use crate::runtime::{Action, Runtime, ThreadId};
 use csmt_cpu::{Cluster, ClusterEvent, ThreadState};
 use csmt_isa::InstStream;
 use csmt_mem::{MemConfig, MemorySystem};
+use csmt_trace::{CycleStats, NullProbe, Probe, SyncEvent, SyncEventKind};
 
 /// Where a software thread lives: (chip, cluster-in-chip, context-in-cluster).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,10 +105,7 @@ impl Machine {
     /// Attach a multiprogrammed mix: each stream carries its program-group
     /// id; barriers and locks are scoped within a group (independent
     /// programs never synchronize with each other).
-    pub fn attach_threads_grouped(
-        &mut self,
-        streams: Vec<(Box<dyn InstStream + Send>, usize)>,
-    ) {
+    pub fn attach_threads_grouped(&mut self, streams: Vec<(Box<dyn InstStream + Send>, usize)>) {
         assert!(self.placements.is_empty(), "threads already attached");
         assert!(!streams.is_empty());
         assert!(
@@ -133,15 +131,27 @@ impl Machine {
 
     /// Advance one cycle.
     pub fn step(&mut self) {
+        self.step_probed(&mut NullProbe);
+    }
+
+    /// [`step`](Machine::step) with an observability probe attached.
+    /// Clusters are identified in emitted events by their machine-global
+    /// index (`chip * clusters_per_chip + cluster`). All probe work is
+    /// gated on `P`'s wants-flags, so `step_probed::<NullProbe>`
+    /// monomorphizes to exactly `step`.
+    pub fn step_probed<P: Probe>(&mut self, probe: &mut P) {
         let now = self.cycle;
         for chip_idx in 0..self.chips.len() {
             for cluster_idx in 0..self.chips[chip_idx].clusters.len() {
+                let cluster_id = (chip_idx * self.cfg.clusters + cluster_idx) as u32;
                 self.events_buf.clear();
-                self.chips[chip_idx].clusters[cluster_idx].step(
+                self.chips[chip_idx].clusters[cluster_idx].step_probed(
                     now,
                     &mut self.mem,
                     chip_idx,
                     &mut self.events_buf,
+                    probe,
+                    cluster_id,
                 );
                 for k in 0..self.events_buf.len() {
                     let ev = self.events_buf[k];
@@ -156,12 +166,31 @@ impl Machine {
                     if is_done {
                         self.runtime.thread_done(tid, &mut self.actions_buf);
                     } else {
-                        self.runtime.sync_reached(tid, op.expect("sync"), &mut self.actions_buf);
+                        self.runtime
+                            .sync_reached(tid, op.expect("sync"), &mut self.actions_buf);
+                    }
+                    if P::WANTS_INST_EVENTS {
+                        let kind = match op {
+                            Some(op) => SyncEventKind::Reached(op),
+                            None => SyncEventKind::Done,
+                        };
+                        probe.sync_event(SyncEvent {
+                            cycle: now,
+                            thread: tid as u32,
+                            kind,
+                        });
                     }
                     for a in 0..self.actions_buf.len() {
                         let Action::Resume(t) = self.actions_buf[a];
                         let p = self.placements[t];
                         self.chips[p.chip].clusters[p.cluster].resume_thread(p.ctx);
+                        if P::WANTS_INST_EVENTS {
+                            probe.sync_event(SyncEvent {
+                                cycle: now,
+                                thread: t as u32,
+                                kind: SyncEventKind::Resumed,
+                            });
+                        }
                     }
                 }
             }
@@ -174,25 +203,60 @@ impl Machine {
             .sum();
         self.running_thread_cycles += running as u64;
         self.cycle += 1;
+        if P::WANTS_CYCLE_STATS {
+            let mut slots = csmt_cpu::SlotStats::default();
+            for c in &self.chips {
+                for cl in &c.clusters {
+                    slots.merge(cl.stats());
+                }
+            }
+            let mem = self.mem.stats();
+            let stats = CycleStats {
+                useful: slots.useful,
+                wasted: slots.wasted,
+                slots: slots.slots,
+                cycles: slots.cycles,
+                committed: slots.committed,
+                running_threads: running as u32,
+                accesses: mem.accesses,
+                l1_hits: mem.l1_hits,
+                l2_hits: mem.l2_hits,
+                tlb_misses: mem.tlb_misses,
+            };
+            probe.cycle_end(now, Some(&stats));
+        } else {
+            probe.cycle_end(now, None);
+        }
     }
 
     /// True while any thread still has work.
     pub fn busy(&self) -> bool {
         !self.runtime.all_done()
-            || self.chips.iter().any(|c| c.clusters.iter().any(|cl| cl.busy()))
+            || self
+                .chips
+                .iter()
+                .any(|c| c.clusters.iter().any(|cl| cl.busy()))
     }
 
     /// Run to completion (or `max_cycles`), returning the collected result.
     /// Panics if the limit is hit — a limit hit means a deadlocked workload,
     /// which is a bug, not a datapoint.
     pub fn run(&mut self, max_cycles: u64) -> RunResult {
+        self.run_probed(max_cycles, &mut NullProbe)
+    }
+
+    /// [`run`](Machine::run) with an observability probe attached to every
+    /// cycle. Callers owning a probe with buffered output (e.g.
+    /// [`csmt_trace::IntervalSampler`]) should call its `finish()` after
+    /// this returns to flush the trailing partial interval.
+    pub fn run_probed<P: Probe>(&mut self, max_cycles: u64, probe: &mut P) -> RunResult {
         assert!(!self.placements.is_empty(), "attach_threads first");
         while self.busy() {
             assert!(
                 self.cycle < max_cycles,
                 "simulation exceeded {max_cycles} cycles (deadlock?)"
             );
-            self.step();
+            self.step_probed(probe);
         }
         self.result()
     }
@@ -258,14 +322,28 @@ mod tests {
     use csmt_isa::stream::VecStream;
     use csmt_isa::{ArchReg, DynInst, OpClass, SyncOp};
 
-    fn simple_thread(n_ops: u64, barrier_first: bool, addr_base: u64) -> Box<dyn InstStream + Send> {
+    fn simple_thread(
+        n_ops: u64,
+        barrier_first: bool,
+        addr_base: u64,
+    ) -> Box<dyn InstStream + Send> {
         let mut v = Vec::new();
         if barrier_first {
             v.push(DynInst::sync(0, SyncOp::Barrier(0)));
         }
         for i in 0..n_ops {
-            v.push(DynInst::load(8 + i * 8, ArchReg::Fp(1), addr_base + (i * 8) % 4096, [None, None]));
-            v.push(DynInst::alu(12 + i * 8, OpClass::FpAdd, Some(ArchReg::Fp(2)), [Some(ArchReg::Fp(1)), None]));
+            v.push(DynInst::load(
+                8 + i * 8,
+                ArchReg::Fp(1),
+                addr_base + (i * 8) % 4096,
+                [None, None],
+            ));
+            v.push(DynInst::alu(
+                12 + i * 8,
+                OpClass::FpAdd,
+                Some(ArchReg::Fp(2)),
+                [Some(ArchReg::Fp(1)), None],
+            ));
         }
         v.push(DynInst::sync(4, SyncOp::Barrier(1)));
         v.push(DynInst::sync(8, SyncOp::Exit));
@@ -275,24 +353,69 @@ mod tests {
     #[test]
     fn placement_round_robins_across_clusters() {
         let m = Machine::new(ArchKind::Smt2.chip(), 1, MemConfig::table3(), 1);
-        assert_eq!(m.placement_of(0), Placement { chip: 0, cluster: 0, ctx: 0 });
-        assert_eq!(m.placement_of(1), Placement { chip: 0, cluster: 1, ctx: 0 });
-        assert_eq!(m.placement_of(2), Placement { chip: 0, cluster: 0, ctx: 1 });
-        assert_eq!(m.placement_of(7), Placement { chip: 0, cluster: 1, ctx: 3 });
+        assert_eq!(
+            m.placement_of(0),
+            Placement {
+                chip: 0,
+                cluster: 0,
+                ctx: 0
+            }
+        );
+        assert_eq!(
+            m.placement_of(1),
+            Placement {
+                chip: 0,
+                cluster: 1,
+                ctx: 0
+            }
+        );
+        assert_eq!(
+            m.placement_of(2),
+            Placement {
+                chip: 0,
+                cluster: 0,
+                ctx: 1
+            }
+        );
+        assert_eq!(
+            m.placement_of(7),
+            Placement {
+                chip: 0,
+                cluster: 1,
+                ctx: 3
+            }
+        );
     }
 
     #[test]
     fn placement_fills_chips_in_order() {
         let m = Machine::new(ArchKind::Fa2.chip(), 4, MemConfig::table3(), 1);
         assert_eq!(m.hw_thread_capacity(), 8);
-        assert_eq!(m.placement_of(2), Placement { chip: 1, cluster: 0, ctx: 0 });
-        assert_eq!(m.placement_of(5), Placement { chip: 2, cluster: 1, ctx: 0 });
+        assert_eq!(
+            m.placement_of(2),
+            Placement {
+                chip: 1,
+                cluster: 0,
+                ctx: 0
+            }
+        );
+        assert_eq!(
+            m.placement_of(5),
+            Placement {
+                chip: 2,
+                cluster: 1,
+                ctx: 0
+            }
+        );
     }
 
     #[test]
     fn two_threads_run_to_completion_through_a_shared_barrier() {
         let mut m = Machine::new(ArchKind::Smt2.chip(), 1, MemConfig::table3(), 1);
-        m.attach_threads(vec![simple_thread(50, false, 0), simple_thread(5, false, 65536)]);
+        m.attach_threads(vec![
+            simple_thread(50, false, 0),
+            simple_thread(5, false, 65536),
+        ]);
         let r = m.run(1_000_000);
         assert_eq!(r.threads, 2);
         assert!(r.cycles > 0);
@@ -306,12 +429,17 @@ mod tests {
     fn imbalanced_threads_expose_sync_hazard_growth() {
         let run_with = |short: u64| {
             let mut m = Machine::new(ArchKind::Fa8.chip(), 1, MemConfig::table3(), 1);
-            m.attach_threads((0..8).map(|i| simple_thread(if i == 0 { 400 } else { short }, false, i << 16)).collect());
+            m.attach_threads(
+                (0..8)
+                    .map(|i| simple_thread(if i == 0 { 400 } else { short }, false, i << 16))
+                    .collect(),
+            );
             m.run(10_000_000)
         };
         let balanced = run_with(400);
         let imbalanced = run_with(10);
-        let sync_frac = |r: &RunResult| r.slots.wasted[csmt_cpu::Hazard::Sync.index()] / r.slots.slots as f64;
+        let sync_frac =
+            |r: &RunResult| r.slots.wasted[csmt_cpu::Hazard::Sync.index()] / r.slots.slots as f64;
         assert!(
             sync_frac(&imbalanced) > sync_frac(&balanced) + 0.1,
             "imbalance must show as sync: {} vs {}",
@@ -324,7 +452,11 @@ mod tests {
     fn deterministic_machine_runs() {
         let run = || {
             let mut m = Machine::new(ArchKind::Smt4.chip(), 1, MemConfig::table3(), 33);
-            m.attach_threads((0..8).map(|i| simple_thread(60 + i * 3, true, i * 8192)).collect());
+            m.attach_threads(
+                (0..8)
+                    .map(|i| simple_thread(60 + i * 3, true, i * 8192))
+                    .collect(),
+            );
             m.run(10_000_000)
         };
         let a = run();

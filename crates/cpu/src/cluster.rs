@@ -16,6 +16,7 @@ use crate::stats::{Hazard, SlotStats};
 use csmt_isa::stream::WrongPathGen;
 use csmt_isa::{ArchReg, DynInst, InstStream, OpClass, SyncOp};
 use csmt_mem::{AccessKind, MemorySystem};
+use csmt_trace::{FetchEvent, NullProbe, Probe, StageEvent};
 use std::collections::VecDeque;
 
 /// Externally visible state of a hardware thread context.
@@ -166,7 +167,9 @@ impl Cluster {
         Cluster {
             window: vec![DEAD; cfg.window_entries],
             free_slots: (0..cfg.window_entries as u32).rev().collect(),
-            threads: (0..cfg.hw_threads).map(|i| ThreadCtx::new(rng.fork(i as u64).next_u64())).collect(),
+            threads: (0..cfg.hw_threads)
+                .map(|i| ThreadCtx::new(rng.fork(i as u64).next_u64()))
+                .collect(),
             fu: FuPool::new(cfg.fu_counts),
             bpred: BranchPredictor::with_kind(cfg.predictor),
             rename_int_free: cfg.rename_int,
@@ -199,7 +202,11 @@ impl Cluster {
     /// granted). The runtime calls this.
     pub fn resume_thread(&mut self, ctx: usize) {
         let t = &mut self.threads[ctx];
-        assert_eq!(t.state, ThreadState::WaitingSync, "resume of non-waiting thread");
+        assert_eq!(
+            t.state,
+            ThreadState::WaitingSync,
+            "resume of non-waiting thread"
+        );
         t.state = ThreadState::Running;
     }
 
@@ -213,13 +220,20 @@ impl Cluster {
     pub fn running_threads(&self) -> usize {
         self.threads
             .iter()
-            .filter(|t| matches!(t.state, ThreadState::Running | ThreadState::WrongPath | ThreadState::Draining))
+            .filter(|t| {
+                matches!(
+                    t.state,
+                    ThreadState::Running | ThreadState::WrongPath | ThreadState::Draining
+                )
+            })
             .count()
     }
 
     /// True while any context still has work (in-flight or un-fetched).
     pub fn busy(&self) -> bool {
-        self.threads.iter().any(|t| !matches!(t.state, ThreadState::Idle | ThreadState::Done))
+        self.threads
+            .iter()
+            .any(|t| !matches!(t.state, ThreadState::Idle | ThreadState::Done))
     }
 
     /// Slot statistics accumulated so far.
@@ -251,18 +265,34 @@ impl Cluster {
         node: usize,
         events: &mut Vec<ClusterEvent>,
     ) {
+        self.step_probed(now, mem, node, events, &mut NullProbe, 0);
+    }
+
+    /// [`step`](Cluster::step) with an observability probe attached.
+    /// `cluster_id` is the machine-global cluster index stamped into the
+    /// emitted events. All probe calls are gated on `P`'s wants-flags,
+    /// so `step_probed::<NullProbe>` monomorphizes to exactly `step`.
+    pub fn step_probed<P: Probe>(
+        &mut self,
+        now: u64,
+        mem: &mut MemorySystem,
+        node: usize,
+        events: &mut Vec<ClusterEvent>,
+        probe: &mut P,
+        cluster_id: u32,
+    ) {
         self.rename_stalled = false;
-        self.complete(now);
-        self.commit(now, mem, node, events);
-        let (useful, wrong) = self.issue(now, mem, node);
-        self.fetch();
+        self.complete(now, probe, cluster_id);
+        self.commit(now, mem, node, events, probe, cluster_id);
+        let (useful, wrong) = self.issue(now, mem, node, probe, cluster_id);
+        self.fetch(now, probe, cluster_id);
         self.account(now, useful, wrong);
     }
 
     // ------------------------------------------------------------------
     // complete: retire execution, wake dependents, resolve branches.
     // ------------------------------------------------------------------
-    fn complete(&mut self, now: u64) {
+    fn complete<P: Probe>(&mut self, now: u64, probe: &mut P, cluster_id: u32) {
         self.wake_buf.clear();
         for slot in 0..self.window.len() {
             let e = &mut self.window[slot];
@@ -270,6 +300,13 @@ impl Cluster {
                 if let EState::Exec { done_at } = e.state {
                     if done_at <= now {
                         e.state = EState::Done;
+                        if P::WANTS_INST_EVENTS {
+                            probe.writeback(StageEvent {
+                                cycle: now,
+                                cluster: cluster_id,
+                                uid: e.seq,
+                            });
+                        }
                         self.wake_buf.push(slot as u32);
                     }
                 }
@@ -282,7 +319,16 @@ impl Cluster {
             let slot = self.wake_buf[i];
             let (has_branch, pc, taken, target, mispredicted, thread, seq, valid) = {
                 let e = &self.window[slot as usize];
-                (e.has_branch, e.pc, e.br_taken, e.br_target, e.mispredicted, e.thread as usize, e.seq, e.valid)
+                (
+                    e.has_branch,
+                    e.pc,
+                    e.br_taken,
+                    e.br_target,
+                    e.mispredicted,
+                    e.thread as usize,
+                    e.seq,
+                    e.valid,
+                )
             };
             if !valid {
                 continue; // squashed by an older branch this same cycle
@@ -300,7 +346,7 @@ impl Cluster {
             if has_branch {
                 self.bpred.resolve(pc, taken, target, mispredicted);
                 if mispredicted {
-                    self.squash_after(thread, seq, now);
+                    self.squash_after(thread, seq, now, probe, cluster_id);
                 }
             }
         }
@@ -308,13 +354,28 @@ impl Cluster {
 
     /// Remove all of `thread`'s instructions younger than `seq` (the
     /// wrong-path fetches), rebuild its map table, resume correct-path fetch.
-    fn squash_after(&mut self, thread: usize, seq: u64, now: u64) {
+    fn squash_after<P: Probe>(
+        &mut self,
+        thread: usize,
+        seq: u64,
+        now: u64,
+        probe: &mut P,
+        cluster_id: u32,
+    ) {
         while let Some(&back) = self.threads[thread].fifo.back() {
-            if self.window[back as usize].seq <= seq {
+            let victim_seq = self.window[back as usize].seq;
+            if victim_seq <= seq {
                 break;
             }
             self.threads[thread].fifo.pop_back();
             self.release_slot(back);
+            if P::WANTS_INST_EVENTS {
+                probe.squash(StageEvent {
+                    cycle: now,
+                    cluster: cluster_id,
+                    uid: victim_seq,
+                });
+            }
         }
         // Rebuild the map table from surviving in-flight producers.
         let t = &mut self.threads[thread];
@@ -347,12 +408,14 @@ impl Cluster {
     // ------------------------------------------------------------------
     // commit: per-thread in-order retirement.
     // ------------------------------------------------------------------
-    fn commit(
+    fn commit<P: Probe>(
         &mut self,
         now: u64,
         mem: &mut MemorySystem,
         node: usize,
         events: &mut Vec<ClusterEvent>,
+        probe: &mut P,
+        cluster_id: u32,
     ) {
         let mut budget = self.cfg.retire_width;
         let n_threads = self.threads.len();
@@ -360,13 +423,15 @@ impl Cluster {
         for off in 0..n_threads {
             let tid = (self.fetch_rr + off) % n_threads;
             while budget > 0 {
-                let Some(&head) = self.threads[tid].fifo.front() else { break };
+                let Some(&head) = self.threads[tid].fifo.front() else {
+                    break;
+                };
                 let e = &self.window[head as usize];
                 if e.state != EState::Done {
                     break;
                 }
                 debug_assert!(!e.wrong_path, "wrong-path entry survived to commit");
-                let (is_store, addr, dest) = (e.is_store, e.mem_addr, e.dest);
+                let (is_store, addr, dest, seq) = (e.is_store, e.mem_addr, e.dest, e.seq);
                 if is_store {
                     // Stores perform their cache access at commit; the store
                     // buffer absorbs the latency, but a full buffer stalls
@@ -375,7 +440,7 @@ impl Cluster {
                     if self.store_buffer.len() >= self.cfg.store_buffer {
                         break;
                     }
-                    let out = mem.access(node, addr, AccessKind::Write, now);
+                    let out = mem.access_probed(node, addr, AccessKind::Write, now, probe);
                     self.store_buffer.push(out.complete_at);
                 }
                 if let Some(d) = dest {
@@ -388,13 +453,23 @@ impl Cluster {
                 self.threads[tid].committed += 1;
                 self.stats.committed += 1;
                 budget -= 1;
+                if P::WANTS_INST_EVENTS {
+                    probe.commit(StageEvent {
+                        cycle: now,
+                        cluster: cluster_id,
+                        uid: seq,
+                    });
+                }
             }
         }
         // Drained sync / exit detection.
         for tid in 0..n_threads {
             let t = &mut self.threads[tid];
             if t.state == ThreadState::Draining && t.fifo.is_empty() {
-                let op = t.pending_sync.take().expect("draining thread has a sync op");
+                let op = t
+                    .pending_sync
+                    .take()
+                    .expect("draining thread has a sync op");
                 if op == SyncOp::Exit {
                     t.state = ThreadState::Done;
                     events.push(ClusterEvent::ThreadDone { thread: tid });
@@ -409,12 +484,17 @@ impl Cluster {
     // ------------------------------------------------------------------
     // issue: oldest-first over ready instructions.
     // ------------------------------------------------------------------
-    fn issue(&mut self, now: u64, mem: &mut MemorySystem, node: usize) -> (usize, usize) {
+    fn issue<P: Probe>(
+        &mut self,
+        now: u64,
+        mem: &mut MemorySystem,
+        node: usize,
+        probe: &mut P,
+        cluster_id: u32,
+    ) -> (usize, usize) {
         self.ready_buf.clear();
         for (slot, e) in self.window.iter().enumerate() {
-            if e.valid
-                && e.state == EState::Waiting
-                && e.srcs.iter().all(|s| *s == SrcState::Ready)
+            if e.valid && e.state == EState::Waiting && e.srcs.iter().all(|s| *s == SrcState::Ready)
             {
                 self.ready_buf.push((e.seq, slot as u32));
             }
@@ -430,7 +510,14 @@ impl Cluster {
             let slot = self.ready_buf[i].1 as usize;
             let (op, addr, is_store, thread, seq, wrong_path) = {
                 let e = &self.window[slot];
-                (e.op, e.mem_addr, e.is_store, e.thread as usize, e.seq, e.wrong_path)
+                (
+                    e.op,
+                    e.mem_addr,
+                    e.is_store,
+                    e.thread as usize,
+                    e.seq,
+                    e.wrong_path,
+                )
             };
             if !self.fu.can_issue(op, now) {
                 self.fu.note_structural_stall();
@@ -451,7 +538,7 @@ impl Cluster {
                         continue;
                     }
                     self.fu.issue(op, now);
-                    let out = mem.access(node, addr, AccessKind::Read, now);
+                    let out = mem.access_probed(node, addr, AccessKind::Read, now, probe);
                     out.complete_at.max(now + op.latency() as u64)
                 }
             } else if is_store {
@@ -462,6 +549,13 @@ impl Cluster {
                 self.fu.issue(op, now)
             };
             self.window[slot].state = EState::Exec { done_at };
+            if P::WANTS_INST_EVENTS {
+                probe.issue(StageEvent {
+                    cycle: now,
+                    cluster: cluster_id,
+                    uid: seq,
+                });
+            }
             if wrong_path {
                 wrong += 1;
             } else {
@@ -477,18 +571,17 @@ impl Cluster {
     // for the fetch bottleneck (§5.2 discussion) are selectable via
     // [`crate::config::FetchPolicy`].
     // ------------------------------------------------------------------
-    fn fetch(&mut self) {
+    fn fetch<P: Probe>(&mut self, now: u64, probe: &mut P, cluster_id: u32) {
         let n = self.threads.len();
-        let fetchable = |t: &ThreadCtx| {
-            matches!(t.state, ThreadState::Running | ThreadState::WrongPath)
-        };
+        let fetchable =
+            |t: &ThreadCtx| matches!(t.state, ThreadState::Running | ThreadState::WrongPath);
         match self.cfg.fetch_policy {
             FetchPolicy::RoundRobin => {
                 for off in 0..n {
                     let tid = (self.fetch_rr + off) % n;
                     if fetchable(&self.threads[tid]) {
                         self.fetch_rr = (tid + 1) % n;
-                        self.fetch_from(tid, self.cfg.issue_width);
+                        self.fetch_from(tid, self.cfg.issue_width, now, probe, cluster_id);
                         return;
                     }
                 }
@@ -509,7 +602,7 @@ impl Cluster {
                 }
                 if let Some((tid, _)) = best {
                     self.fetch_rr = (tid + 1) % n;
-                    self.fetch_from(tid, self.cfg.issue_width);
+                    self.fetch_from(tid, self.cfg.issue_width, now, probe, cluster_id);
                 }
             }
             FetchPolicy::Partitioned2 => {
@@ -525,7 +618,7 @@ impl Cluster {
                     off += 1;
                     if fetchable(&self.threads[tid]) {
                         self.fetch_rr = (tid + 1) % n;
-                        self.fetch_from(tid, budget);
+                        self.fetch_from(tid, budget, now, probe, cluster_id);
                         picked += 1;
                     }
                 }
@@ -534,7 +627,14 @@ impl Cluster {
     }
 
     /// Fetch and dispatch up to `budget` instructions from thread `tid`.
-    fn fetch_from(&mut self, tid: usize, budget: usize) {
+    fn fetch_from<P: Probe>(
+        &mut self,
+        tid: usize,
+        budget: usize,
+        now: u64,
+        probe: &mut P,
+        cluster_id: u32,
+    ) {
         let mut fetched = 0;
         while fetched < budget {
             if self.free_slots.is_empty() {
@@ -544,9 +644,10 @@ impl Cluster {
             let inst = match state {
                 ThreadState::Running => {
                     let t = &mut self.threads[tid];
-                    let next = t.pending.take().or_else(|| {
-                        t.stream.as_mut().and_then(|s| s.next_inst())
-                    });
+                    let next = t
+                        .pending
+                        .take()
+                        .or_else(|| t.stream.as_mut().and_then(|s| s.next_inst()));
                     match next {
                         None => {
                             // Stream exhausted without an explicit Exit.
@@ -572,7 +673,11 @@ impl Cluster {
             };
             // Rename: need a free register of the destination's kind.
             if let Some(d) = inst.real_dest() {
-                let pool = if d.is_fp() { &mut self.rename_fp_free } else { &mut self.rename_int_free };
+                let pool = if d.is_fp() {
+                    &mut self.rename_fp_free
+                } else {
+                    &mut self.rename_int_free
+                };
                 if *pool == 0 {
                     self.rename_stalled = true;
                     if state == ThreadState::Running {
@@ -636,6 +741,22 @@ impl Cluster {
             self.window[slot as usize] = entry;
             self.threads[tid].fifo.push_back(slot);
             fetched += 1;
+            if P::WANTS_INST_EVENTS {
+                probe.fetch(FetchEvent {
+                    cycle: now,
+                    cluster: cluster_id,
+                    thread: tid as u32,
+                    uid: seq,
+                    pc: entry.pc,
+                    op: entry.op,
+                    wrong_path,
+                });
+                probe.rename(StageEvent {
+                    cycle: now,
+                    cluster: cluster_id,
+                    uid: seq,
+                });
+            }
             if entry.has_branch && entry.mispredicted && !wrong_path {
                 // Fetch goes down the wrong path until resolution.
                 self.threads[tid].state = ThreadState::WrongPath;
@@ -658,8 +779,10 @@ impl Cluster {
         }
         for t in &self.threads {
             match t.state {
-                ThreadState::Idle | ThreadState::Done
-                | ThreadState::Draining | ThreadState::WaitingSync => {
+                ThreadState::Idle
+                | ThreadState::Done
+                | ThreadState::Draining
+                | ThreadState::WaitingSync => {
                     // Parked threads waste their share of the cluster:
                     // spinning at barriers/locks (or gone).
                     w[Hazard::Sync.index()] += 1.0;
@@ -730,7 +853,8 @@ impl Cluster {
                 }
             }
         }
-        self.stats.record_cycle(self.cfg.issue_width, useful, wrong, &w);
+        self.stats
+            .record_cycle(self.cfg.issue_width, useful, wrong, &w);
     }
 }
 
@@ -771,7 +895,14 @@ mod tests {
         let mut mem = mem1();
         // 400 independent ALU ops (distinct dest, src = $0-equivalent none).
         let insts: Vec<DynInst> = (0..400)
-            .map(|i| DynInst::alu(i * 4, OpClass::IntAlu, Some(ArchReg::Int(1 + (i % 8) as u8)), [None, None]))
+            .map(|i| {
+                DynInst::alu(
+                    i * 4,
+                    OpClass::IntAlu,
+                    Some(ArchReg::Int(1 + (i % 8) as u8)),
+                    [None, None],
+                )
+            })
             .collect();
         c.attach_thread(0, Box::new(VecStream::new(insts)));
         let cycles = run(&mut c, &mut mem, 10_000);
@@ -804,7 +935,10 @@ mod tests {
         c.attach_thread(0, Box::new(VecStream::new(insts)));
         let cycles = run(&mut c, &mut mem, 10_000);
         // ~30 (TLB) + 40 (memory) plus pipeline overhead.
-        assert!(cycles >= 70, "cold load must expose memory latency: {cycles}");
+        assert!(
+            cycles >= 70,
+            "cold load must expose memory latency: {cycles}"
+        );
         assert!(cycles < 100, "{cycles}");
     }
 
@@ -833,13 +967,21 @@ mod tests {
         let mut insts = Vec::new();
         for i in 0..100u64 {
             insts.push(alu(i * 16, 1, 1));
-            insts.push(DynInst::branch(i * 16 + 4, i % 2 == 0, 0, [Some(ArchReg::Int(1)), None]));
+            insts.push(DynInst::branch(
+                i * 16 + 4,
+                i % 2 == 0,
+                0,
+                [Some(ArchReg::Int(1)), None],
+            ));
         }
         c.attach_thread(0, Box::new(VecStream::new(insts)));
         run(&mut c, &mut mem, 50_000);
         assert_eq!(c.thread_committed(0), 200);
         let (_, mispredicts) = c.bpred_stats();
-        assert!(mispredicts > 20, "alternating pattern must mispredict: {mispredicts}");
+        assert!(
+            mispredicts > 20,
+            "alternating pattern must mispredict: {mispredicts}"
+        );
         // Wrong-path issue shows up as `other` slots.
         assert!(c.stats().wasted[Hazard::Other.index()] > 0.0);
     }
@@ -858,7 +1000,10 @@ mod tests {
         run(&mut c, &mut mem, 50_000);
         assert_eq!(c.thread_committed(0), 400);
         let (_, mispredicts) = c.bpred_stats();
-        assert!(mispredicts <= 3, "loop branch should be learned: {mispredicts}");
+        assert!(
+            mispredicts <= 3,
+            "loop branch should be learned: {mispredicts}"
+        );
     }
 
     #[test]
@@ -899,7 +1044,10 @@ mod tests {
         for now in reached_at + 20..reached_at + 200 {
             events.clear();
             c.step(now, &mut mem, 0, &mut events);
-            if events.iter().any(|e| matches!(e, ClusterEvent::ThreadDone { thread: 0 })) {
+            if events
+                .iter()
+                .any(|e| matches!(e, ClusterEvent::ThreadDone { thread: 0 }))
+            {
                 done = true;
                 break;
             }
@@ -910,7 +1058,8 @@ mod tests {
 
     #[test]
     fn two_threads_share_the_cluster_faster_than_one_each() {
-        let chain = |base: u64| -> Vec<DynInst> { (0..300).map(|i| alu(base + i * 4, 1, 1)).collect() };
+        let chain =
+            |base: u64| -> Vec<DynInst> { (0..300).map(|i| alu(base + i * 4, 1, 1)).collect() };
         // One thread alone: latency-bound chain, IPC 1.
         let mut c1 = Cluster::new(ClusterConfig::for_width(4, 4), 1);
         let mut mem = mem1();
@@ -936,7 +1085,14 @@ mod tests {
         let mut c = Cluster::new(ClusterConfig::for_width(1, 1), 1);
         let mut mem = mem1();
         let insts: Vec<DynInst> = (0..200)
-            .map(|i| DynInst::alu(i * 4, OpClass::IntAlu, Some(ArchReg::Int(1 + (i % 8) as u8)), [None, None]))
+            .map(|i| {
+                DynInst::alu(
+                    i * 4,
+                    OpClass::IntAlu,
+                    Some(ArchReg::Int(1 + (i % 8) as u8)),
+                    [None, None],
+                )
+            })
             .collect();
         c.attach_thread(0, Box::new(VecStream::new(insts)));
         let cycles = run(&mut c, &mut mem, 10_000);
@@ -962,8 +1118,18 @@ mod tests {
             let mut mem = mem1();
             let mut insts = Vec::new();
             for i in 0..150u64 {
-                insts.push(DynInst::load(i * 12, ArchReg::Fp(1), (i * 712) % 65536, [None, None]));
-                insts.push(DynInst::alu(i * 12 + 4, OpClass::FpAdd, Some(ArchReg::Fp(2)), [Some(ArchReg::Fp(1)), None]));
+                insts.push(DynInst::load(
+                    i * 12,
+                    ArchReg::Fp(1),
+                    (i * 712) % 65536,
+                    [None, None],
+                ));
+                insts.push(DynInst::alu(
+                    i * 12 + 4,
+                    OpClass::FpAdd,
+                    Some(ArchReg::Fp(2)),
+                    [Some(ArchReg::Fp(1)), None],
+                ));
                 insts.push(DynInst::branch(i * 12 + 8, i % 7 == 0, 0, [None, None]));
             }
             c.attach_thread(0, Box::new(VecStream::new(insts.clone())));
@@ -983,7 +1149,14 @@ mod tests {
         let mut c = Cluster::new(ClusterConfig::for_width(4, 2), 1);
         let mut mem = mem1();
         let insts: Vec<DynInst> = (0..100)
-            .map(|i| DynInst::load(i * 4, ArchReg::Int(1), (i * 64) % 32768, [Some(ArchReg::Int(1)), None]))
+            .map(|i| {
+                DynInst::load(
+                    i * 4,
+                    ArchReg::Int(1),
+                    (i * 64) % 32768,
+                    [Some(ArchReg::Int(1)), None],
+                )
+            })
             .collect();
         c.attach_thread(0, Box::new(VecStream::new(insts)));
         run(&mut c, &mut mem, 100_000);
@@ -1002,16 +1175,27 @@ mod tests {
         // thread 1 runs independent ops. Under ICOUNT the starved thread
         // gets priority, so total completion is no worse than round-robin.
         let mk = |policy: FetchPolicy| {
-            let mut c = Cluster::new(
-                ClusterConfig::for_width(4, 2).with_fetch_policy(policy),
-                1,
-            );
+            let mut c = Cluster::new(ClusterConfig::for_width(4, 2).with_fetch_policy(policy), 1);
             let mut mem = mem1();
             let chain: Vec<DynInst> = (0..200)
-                .map(|i| DynInst::alu(i * 4, OpClass::FpDivDouble, Some(ArchReg::Fp(2)), [Some(ArchReg::Fp(2)), None]))
+                .map(|i| {
+                    DynInst::alu(
+                        i * 4,
+                        OpClass::FpDivDouble,
+                        Some(ArchReg::Fp(2)),
+                        [Some(ArchReg::Fp(2)), None],
+                    )
+                })
                 .collect();
             let indep: Vec<DynInst> = (0..200)
-                .map(|i| DynInst::alu(0x8000 + i * 4, OpClass::IntAlu, Some(ArchReg::Int(1 + (i % 8) as u8)), [None, None]))
+                .map(|i| {
+                    DynInst::alu(
+                        0x8000 + i * 4,
+                        OpClass::IntAlu,
+                        Some(ArchReg::Int(1 + (i % 8) as u8)),
+                        [None, None],
+                    )
+                })
                 .collect();
             c.attach_thread(0, Box::new(VecStream::new(chain)));
             c.attach_thread(1, Box::new(VecStream::new(indep)));
@@ -1019,7 +1203,10 @@ mod tests {
         };
         let rr = mk(FetchPolicy::RoundRobin);
         let ic = mk(FetchPolicy::ICount);
-        assert!(ic <= rr + 8, "ICOUNT must not lose to RR here: {ic} vs {rr}");
+        assert!(
+            ic <= rr + 8,
+            "ICOUNT must not lose to RR here: {ic} vs {rr}"
+        );
     }
 
     #[test]
@@ -1028,17 +1215,18 @@ mod tests {
         // partitioned fetch sustains two streams per cycle and must not be
         // slower than single-thread round-robin fetch.
         let mk = |policy: FetchPolicy| {
-            let mut c = Cluster::new(
-                ClusterConfig::for_width(8, 8).with_fetch_policy(policy),
-                1,
-            );
+            let mut c = Cluster::new(ClusterConfig::for_width(8, 8).with_fetch_policy(policy), 1);
             let mut mem = mem1();
             for t in 0..8 {
                 let insts: Vec<DynInst> = (0..100)
                     .map(|i| {
                         DynInst::alu(
                             ((t as u64) << 16) | (i * 4),
-                            if i % 2 == 0 { OpClass::IntAlu } else { OpClass::FpAdd },
+                            if i % 2 == 0 {
+                                OpClass::IntAlu
+                            } else {
+                                OpClass::FpAdd
+                            },
                             Some(ArchReg::Int(1 + (i % 8) as u8)),
                             [None, None],
                         )
@@ -1055,15 +1243,23 @@ mod tests {
 
     #[test]
     fn all_policies_commit_everything() {
-        for policy in [FetchPolicy::RoundRobin, FetchPolicy::ICount, FetchPolicy::Partitioned2] {
-            let mut c = Cluster::new(
-                ClusterConfig::for_width(4, 4).with_fetch_policy(policy),
-                1,
-            );
+        for policy in [
+            FetchPolicy::RoundRobin,
+            FetchPolicy::ICount,
+            FetchPolicy::Partitioned2,
+        ] {
+            let mut c = Cluster::new(ClusterConfig::for_width(4, 4).with_fetch_policy(policy), 1);
             let mut mem = mem1();
             for t in 0..4 {
                 let insts: Vec<DynInst> = (0..150)
-                    .map(|i| DynInst::alu(((t as u64) << 16) | (i * 4), OpClass::IntAlu, Some(ArchReg::Int(1)), [Some(ArchReg::Int(1)), None]))
+                    .map(|i| {
+                        DynInst::alu(
+                            ((t as u64) << 16) | (i * 4),
+                            OpClass::IntAlu,
+                            Some(ArchReg::Int(1)),
+                            [Some(ArchReg::Int(1)), None],
+                        )
+                    })
                     .collect();
                 c.attach_thread(t, Box::new(VecStream::new(insts)));
             }
@@ -1079,10 +1275,7 @@ mod tests {
         // A stream of stores to distinct lines (every one a cache miss):
         // with a 1-entry store buffer, commits serialize behind the misses.
         let mk = |buf: usize| {
-            let mut c = Cluster::new(
-                ClusterConfig::for_width(4, 1).with_store_buffer(buf),
-                1,
-            );
+            let mut c = Cluster::new(ClusterConfig::for_width(4, 1).with_store_buffer(buf), 1);
             let mut mem = mem1();
             let insts: Vec<DynInst> = (0..100)
                 .map(|i| DynInst::store(i * 4, 0x100_000 + i * 64, [None, None]))

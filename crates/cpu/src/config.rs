@@ -63,7 +63,10 @@ impl ClusterConfig {
     /// budgets: `width × 16` window entries and rename registers of each
     /// kind, `width` FUs of each kind (capped per the 8-issue special case).
     pub fn for_width(issue_width: usize, hw_threads: usize) -> Self {
-        assert!(matches!(issue_width, 1 | 2 | 4 | 8), "paper uses widths 1/2/4/8");
+        assert!(
+            matches!(issue_width, 1 | 2 | 4 | 8),
+            "paper uses widths 1/2/4/8"
+        );
         assert!(hw_threads >= 1);
         let fu_counts = if issue_width == 8 {
             // Table 2: the 8-issue cluster (FA1 / SMT1) has 6/4/4 units.
@@ -88,7 +91,10 @@ impl ClusterConfig {
     /// The same budget with a different store-buffer capacity.
     pub fn with_store_buffer(self, store_buffer: usize) -> Self {
         assert!(store_buffer >= 1);
-        ClusterConfig { store_buffer, ..self }
+        ClusterConfig {
+            store_buffer,
+            ..self
+        }
     }
 
     /// The same budget with a different branch predictor.
@@ -98,7 +104,10 @@ impl ClusterConfig {
 
     /// The same budget with a different fetch policy.
     pub fn with_fetch_policy(self, fetch_policy: FetchPolicy) -> Self {
-        ClusterConfig { fetch_policy, ..self }
+        ClusterConfig {
+            fetch_policy,
+            ..self
+        }
     }
 
     /// Total issue slots per cycle (for slot accounting).
@@ -153,7 +162,10 @@ mod tests {
 
     #[test]
     fn default_fetch_policy_is_the_papers_round_robin() {
-        assert_eq!(ClusterConfig::for_width(4, 4).fetch_policy, FetchPolicy::RoundRobin);
+        assert_eq!(
+            ClusterConfig::for_width(4, 4).fetch_policy,
+            FetchPolicy::RoundRobin
+        );
         let c = ClusterConfig::for_width(4, 4).with_fetch_policy(FetchPolicy::ICount);
         assert_eq!(c.fetch_policy, FetchPolicy::ICount);
         assert_eq!(c.issue_width, 4);

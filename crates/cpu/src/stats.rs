@@ -9,6 +9,8 @@
 //! The eight categories are exactly the paper's: `useful` plus the seven
 //! hazard classes of its stacked bars.
 
+use serde::Serialize;
+
 /// Hazard categories of §4.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Hazard {
@@ -72,7 +74,7 @@ impl Hazard {
 /// Accumulated slot statistics for one cluster (or one whole machine after
 /// merging). Wasted slots are divided *proportionally* among the hazards
 /// observed in a cycle, so the accumulators are `f64`.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct SlotStats {
     /// Slots that issued useful (correct-path) instructions.
     pub useful: f64,
@@ -168,6 +170,30 @@ mod tests {
             assert!(!h.label().is_empty());
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn legend_order_matches_trace_labels() {
+        // `ALL` is the paper's legend order AND the dense index order, and
+        // the trace crate's label list (used for JSONL heartbeat keys) must
+        // agree with both.
+        for (i, h) in Hazard::ALL.iter().enumerate() {
+            assert_eq!(h.index(), i);
+            assert_eq!(h.label(), csmt_trace::HAZARD_LABELS[i]);
+        }
+    }
+
+    #[test]
+    fn serializes_all_fields() {
+        let mut s = SlotStats::default();
+        s.record_cycle(4, 2, 1, &[0.0; 7]);
+        s.committed = 2;
+        let v = serde::Serialize::to_value(&s);
+        assert_eq!(v["useful"].as_f64(), Some(2.0));
+        assert_eq!(v["wasted"][Hazard::Other.index()].as_f64(), Some(1.0));
+        assert_eq!(v["cycles"].as_u64(), Some(1));
+        assert_eq!(v["slots"].as_u64(), Some(4));
+        assert_eq!(v["committed"].as_u64(), Some(2));
     }
 
     #[test]

@@ -64,17 +64,19 @@ fn build(ops: &[Op]) -> Vec<DynInst> {
                     Some(ArchReg::Int(dest)),
                     [Some(ArchReg::Int(src)), None],
                 ),
-                Op::Load { dest, addr, addr_src } => DynInst::load(
+                Op::Load {
+                    dest,
+                    addr,
+                    addr_src,
+                } => DynInst::load(
                     pc,
                     ArchReg::Fp(dest),
                     addr as u64 * 8,
                     [Some(ArchReg::Int(addr_src)), None],
                 ),
-                Op::Store { addr, val_src } => DynInst::store(
-                    pc,
-                    addr as u64 * 8,
-                    [Some(ArchReg::Int(val_src)), None],
-                ),
+                Op::Store { addr, val_src } => {
+                    DynInst::store(pc, addr as u64 * 8, [Some(ArchReg::Int(val_src)), None])
+                }
                 Op::Branch { taken, src } => {
                     DynInst::branch(pc, taken, 0, [Some(ArchReg::Int(src)), None])
                 }
@@ -189,9 +191,15 @@ proptest! {
 #[test]
 fn fuzz_many_shapes_complete() {
     let mut rng = SplitMix64::new(0xF00D);
-    for &(width, threads) in
-        &[(1usize, 1usize), (2, 1), (2, 2), (4, 1), (4, 4), (8, 1), (8, 8)]
-    {
+    for &(width, threads) in &[
+        (1usize, 1usize),
+        (2, 1),
+        (2, 2),
+        (4, 1),
+        (4, 4),
+        (8, 1),
+        (8, 8),
+    ] {
         for round in 0..4 {
             let programs: Vec<Vec<DynInst>> = (0..threads)
                 .map(|t| {
@@ -236,7 +244,11 @@ fn fuzz_many_shapes_complete() {
                 .collect();
             let (_, committed, _) = run_cluster(width, threads, &programs, round);
             for (t, p) in programs.iter().enumerate() {
-                assert_eq!(committed[t], p.len() as u64, "w{width} t{threads} r{round} thread {t}");
+                assert_eq!(
+                    committed[t],
+                    p.len() as u64,
+                    "w{width} t{threads} r{round} thread {t}"
+                );
             }
         }
     }

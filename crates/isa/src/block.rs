@@ -44,7 +44,10 @@ impl Default for RegAlloc {
 impl RegAlloc {
     /// Fresh allocator starting at the bottom of each temp range.
     pub fn new() -> Self {
-        Self { next_int: INT_TMP_LO, next_fp: FP_TMP_LO }
+        Self {
+            next_int: INT_TMP_LO,
+            next_fp: FP_TMP_LO,
+        }
     }
 
     /// Next integer temporary.
@@ -143,7 +146,11 @@ pub struct BlockBuilder {
 impl BlockBuilder {
     /// Start a builder whose static code begins at `base_pc`.
     pub fn new(base_pc: u64) -> Self {
-        Self { base_pc, static_idx: 0, out: Vec::new() }
+        Self {
+            base_pc,
+            static_idx: 0,
+            out: Vec::new(),
+        }
     }
 
     /// Reset the static PC cursor to the block start (call at the top of
@@ -179,12 +186,18 @@ impl BlockBuilder {
     /// address generation (usually the loop induction register).
     pub fn load(&mut self, dest: ArchReg, addr: u64, addr_src: Option<ArchReg>) -> &mut Self {
         let pc = self.bump();
-        self.out.push(DynInst::load(pc, dest, addr, [addr_src, None]));
+        self.out
+            .push(DynInst::load(pc, dest, addr, [addr_src, None]));
         self
     }
 
     /// Emit a store of `val_src` to `addr`.
-    pub fn store(&mut self, addr: u64, val_src: Option<ArchReg>, addr_src: Option<ArchReg>) -> &mut Self {
+    pub fn store(
+        &mut self,
+        addr: u64,
+        val_src: Option<ArchReg>,
+        addr_src: Option<ArchReg>,
+    ) -> &mut Self {
         let pc = self.bump();
         self.out.push(DynInst::store(pc, addr, [val_src, addr_src]));
         self
@@ -194,7 +207,8 @@ impl BlockBuilder {
     /// block base (backward branch) by default.
     pub fn branch(&mut self, taken: bool, srcs: [Option<ArchReg>; 2]) -> &mut Self {
         let pc = self.bump();
-        self.out.push(DynInst::branch(pc, taken, self.base_pc, srcs));
+        self.out
+            .push(DynInst::branch(pc, taken, self.base_pc, srcs));
         self
     }
 
@@ -209,9 +223,19 @@ impl BlockBuilder {
     /// independent dependence chains seeded from `seeds` (one register per
     /// chain, typically loaded values), each chain `depth` ops deep.
     /// Returns the final register of each chain.
-    pub fn emit_compute(&mut self, spec: ChainSpec, seeds: &[ArchReg], ra: &mut RegAlloc) -> Vec<ArchReg> {
+    pub fn emit_compute(
+        &mut self,
+        spec: ChainSpec,
+        seeds: &[ArchReg],
+        ra: &mut RegAlloc,
+    ) -> Vec<ArchReg> {
         let mut heads: Vec<ArchReg> = (0..spec.chains as usize)
-            .map(|c| seeds.get(c % seeds.len().max(1)).copied().unwrap_or(ArchReg::Int(1)))
+            .map(|c| {
+                seeds
+                    .get(c % seeds.len().max(1))
+                    .copied()
+                    .unwrap_or(ArchReg::Int(1))
+            })
             .collect();
         // Interleave chain links (chain-major per level) the way a compiler
         // schedules unrolled independent operations.
@@ -220,7 +244,8 @@ impl BlockBuilder {
                 let op = spec.mix.op_for(k);
                 let dest = if spec.mix.is_fp(k) { ra.fp() } else { ra.int() };
                 let pc = self.bump();
-                self.out.push(DynInst::alu(pc, op, Some(dest), [Some(*head), None]));
+                self.out
+                    .push(DynInst::alu(pc, op, Some(dest), [Some(*head), None]));
                 *head = dest;
             }
         }
@@ -272,7 +297,11 @@ mod tests {
         let mut b = BlockBuilder::new(0);
         let mut ra = RegAlloc::new();
         let seeds = [ArchReg::Fp(0), ArchReg::Fp(1)];
-        let spec = ChainSpec { chains: 2, depth: 3, mix: OpMix::Float };
+        let spec = ChainSpec {
+            chains: 2,
+            depth: 3,
+            mix: OpMix::Float,
+        };
         let tails = b.emit_compute(spec, &seeds, &mut ra);
         let insts = b.finish();
         assert_eq!(insts.len(), 6);

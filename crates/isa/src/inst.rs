@@ -72,7 +72,15 @@ impl DynInst {
     #[inline]
     pub fn alu(pc: u64, op: OpClass, dest: Option<ArchReg>, srcs: [Option<ArchReg>; 2]) -> Self {
         debug_assert!(!op.is_mem() && !op.is_branch() && op != OpClass::Sync);
-        DynInst { pc, op, dest, srcs, mem: None, branch: None, sync: None }
+        DynInst {
+            pc,
+            op,
+            dest,
+            srcs,
+            mem: None,
+            branch: None,
+            sync: None,
+        }
     }
 
     /// A load producing `dest` from `addr`, with address-generation sources.
@@ -134,10 +142,7 @@ impl DynInst {
     /// Iterate over real (non-zero-register) sources.
     #[inline]
     pub fn real_srcs(&self) -> impl Iterator<Item = ArchReg> + '_ {
-        self.srcs
-            .iter()
-            .filter_map(|s| *s)
-            .filter(|r| !r.is_zero())
+        self.srcs.iter().filter_map(|s| *s).filter(|r| !r.is_zero())
     }
 
     /// Destination register if it is a real renamed register.
@@ -183,6 +188,10 @@ mod tests {
     #[test]
     fn dyninst_is_reasonably_small() {
         // Millions are in flight across a figure sweep; keep the hot type lean.
-        assert!(std::mem::size_of::<DynInst>() <= 64, "{}", std::mem::size_of::<DynInst>());
+        assert!(
+            std::mem::size_of::<DynInst>() <= 64,
+            "{}",
+            std::mem::size_of::<DynInst>()
+        );
     }
 }

@@ -108,7 +108,10 @@ impl OpClass {
     #[inline]
     pub fn fu_kind(self) -> Option<FuKind> {
         match self {
-            OpClass::IntAlu | OpClass::Shift | OpClass::IntMul | OpClass::IntDiv
+            OpClass::IntAlu
+            | OpClass::Shift
+            | OpClass::IntMul
+            | OpClass::IntDiv
             | OpClass::Branch => Some(FuKind::Int),
             OpClass::Load | OpClass::Store => Some(FuKind::LdSt),
             OpClass::FpAdd | OpClass::FpMul | OpClass::FpDivSingle | OpClass::FpDivDouble => {
@@ -148,7 +151,10 @@ impl OpClass {
     pub fn writes_fp(self) -> bool {
         matches!(
             self,
-            OpClass::FpAdd | OpClass::FpMul | OpClass::FpDivSingle | OpClass::FpDivDouble
+            OpClass::FpAdd
+                | OpClass::FpMul
+                | OpClass::FpDivSingle
+                | OpClass::FpDivDouble
                 | OpClass::Load // FP loads also exist; pool choice comes from dest reg, see rename
         )
     }

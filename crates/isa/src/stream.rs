@@ -82,7 +82,12 @@ impl CycleStream {
     /// Repeat `body` until `limit` total instructions have been produced.
     pub fn new(body: Vec<DynInst>, limit: u64) -> Self {
         assert!(!body.is_empty(), "CycleStream body must be non-empty");
-        Self { body, pos: 0, produced: 0, limit }
+        Self {
+            body,
+            pos: 0,
+            produced: 0,
+            limit,
+        }
     }
 }
 
@@ -121,7 +126,9 @@ pub struct WrongPathGen {
 impl WrongPathGen {
     /// One generator per hardware thread context, seeded for determinism.
     pub fn new(seed: u64) -> Self {
-        Self { rng: SplitMix64::new(seed) }
+        Self {
+            rng: SplitMix64::new(seed),
+        }
     }
 
     /// Produce the next wrong-path instruction starting at pseudo-PC `pc`.

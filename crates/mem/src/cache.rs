@@ -54,7 +54,12 @@ struct Way {
     lru: u32,
 }
 
-const INVALID: Way = Way { tag: 0, valid: false, dirty: false, lru: 0 };
+const INVALID: Way = Way {
+    tag: 0,
+    valid: false,
+    dirty: false,
+    lru: 0,
+};
 
 /// One cache level: tags + LRU + dirty bits, organized as `sets × assoc`.
 #[derive(Debug, Clone)]
@@ -102,12 +107,24 @@ impl Cache {
 
     /// L1 cache per Table 3 dimensions.
     pub fn l1(cfg: &MemConfig) -> Self {
-        Self::with_policy(cfg.l1_sets(), cfg.l1_assoc, cfg.l1_banks, cfg.replacement, 0x5EED)
+        Self::with_policy(
+            cfg.l1_sets(),
+            cfg.l1_assoc,
+            cfg.l1_banks,
+            cfg.replacement,
+            0x5EED,
+        )
     }
 
     /// L2 cache per Table 3 dimensions.
     pub fn l2(cfg: &MemConfig) -> Self {
-        Self::with_policy(cfg.l2_sets(), cfg.l2_assoc, cfg.l2_banks, cfg.replacement, 0x5EED ^ 1)
+        Self::with_policy(
+            cfg.l2_sets(),
+            cfg.l2_assoc,
+            cfg.l2_banks,
+            cfg.replacement,
+            0x5EED ^ 1,
+        )
     }
 
     /// Set index with XOR-folded hashing. Plain modulo indexing makes every
@@ -209,11 +226,19 @@ impl Cache {
         }
         let idx = self.slot(set, victim_way);
         let evicted = if self.ways[idx].valid {
-            Some(Victim { line: self.ways[idx].tag, dirty: self.ways[idx].dirty })
+            Some(Victim {
+                line: self.ways[idx].tag,
+                dirty: self.ways[idx].dirty,
+            })
         } else {
             None
         };
-        self.ways[idx] = Way { tag, valid: true, dirty: write, lru: self.lru_clock };
+        self.ways[idx] = Way {
+            tag,
+            valid: true,
+            dirty: write,
+            lru: self.lru_clock,
+        };
         LookupResult::Miss { evicted }
     }
 
@@ -264,7 +289,10 @@ mod tests {
     #[test]
     fn first_access_misses_then_hits() {
         let mut c = small();
-        assert!(matches!(c.access(5, false), LookupResult::Miss { evicted: None }));
+        assert!(matches!(
+            c.access(5, false),
+            LookupResult::Miss { evicted: None }
+        ));
         assert_eq!(c.access(5, false), LookupResult::Hit);
         assert_eq!(c.stats(), (1, 1));
     }
@@ -272,7 +300,10 @@ mod tests {
     /// First three lines that map to the same set as line 0.
     fn colliding_lines(c: &Cache, n: usize) -> Vec<u64> {
         let target = c.set_of(0);
-        (0u64..100_000).filter(|&l| c.set_of(l) == target).take(n).collect()
+        (0u64..100_000)
+            .filter(|&l| c.set_of(l) == target)
+            .take(n)
+            .collect()
     }
 
     #[test]
@@ -297,7 +328,7 @@ mod tests {
         let ls = colliding_lines(&c, 4);
         c.access(ls[0], true); // dirty
         c.access(ls[1], false); // clean
-        // Evict ls[0] (LRU): should be dirty.
+                                // Evict ls[0] (LRU): should be dirty.
         match c.access(ls[2], false) {
             LookupResult::Miss { evicted: Some(v) } => {
                 assert_eq!(v.line, ls[0]);
@@ -353,7 +384,10 @@ mod tests {
     fn distinct_sets_do_not_conflict() {
         let mut c = small();
         for line in 0..4u64 {
-            assert!(matches!(c.access(line, false), LookupResult::Miss { evicted: None }));
+            assert!(matches!(
+                c.access(line, false),
+                LookupResult::Miss { evicted: None }
+            ));
         }
         for line in 0..4u64 {
             assert_eq!(c.access(line, false), LookupResult::Hit);
@@ -378,7 +412,10 @@ mod tests {
             let mut c = Cache::with_policy(4, 2, 7, policy, 1);
             let ls = {
                 let target = c.set_of(0);
-                (0u64..10_000).filter(|&l| c.set_of(l) == target).take(3).collect::<Vec<_>>()
+                (0u64..10_000)
+                    .filter(|&l| c.set_of(l) == target)
+                    .take(3)
+                    .collect::<Vec<_>>()
             };
             c.access(ls[0], false);
             c.access(ls[1], false);

@@ -65,7 +65,12 @@ pub struct DirOutcome {
 
 impl DirOutcome {
     fn mem(service: Service) -> Self {
-        DirOutcome { service, invalidations: 0, invalidated_mask: 0, prev_owner: None }
+        DirOutcome {
+            service,
+            invalidations: 0,
+            invalidated_mask: 0,
+            prev_owner: None,
+        }
     }
 }
 
@@ -157,7 +162,9 @@ impl Directory {
                 self.lines
                     .insert(line, DirState::Shared(bit | (1u32 << owner)));
                 DirOutcome {
-                    service: Service::RemoteL2 { owner: owner as usize },
+                    service: Service::RemoteL2 {
+                        owner: owner as usize,
+                    },
                     invalidations: 0,
                     invalidated_mask: 0,
                     prev_owner: Some(owner as usize),
@@ -230,7 +237,9 @@ impl Directory {
                 self.invalidations_sent += 1;
                 self.lines.insert(line, DirState::Modified(node as u8));
                 DirOutcome {
-                    service: Service::RemoteL2 { owner: owner as usize },
+                    service: Service::RemoteL2 {
+                        owner: owner as usize,
+                    },
                     invalidations: 1,
                     invalidated_mask: 1u32 << owner,
                     prev_owner: Some(owner as usize),
@@ -246,7 +255,11 @@ impl Directory {
 
     /// (transactions, remote-L2 transfers, invalidations sent).
     pub fn stats(&self) -> (u64, u64, u64) {
-        (self.transactions, self.remote_l2_transfers, self.invalidations_sent)
+        (
+            self.transactions,
+            self.remote_l2_transfers,
+            self.invalidations_sent,
+        )
     }
 }
 
@@ -308,7 +321,11 @@ mod tests {
         assert_eq!(o.service, Service::None);
         assert_eq!(o.invalidations, 0);
         assert_eq!(d.inspect(5), DirState::Modified(1));
-        assert_eq!(d.stats().0, before_tx, "silent upgrade is not a transaction");
+        assert_eq!(
+            d.stats().0,
+            before_tx,
+            "silent upgrade is not a transaction"
+        );
     }
 
     #[test]

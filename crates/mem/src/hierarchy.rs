@@ -42,6 +42,19 @@ pub enum ServicedBy {
     RemoteL2,
 }
 
+/// Map the hierarchy's outcome classification onto the trace crate's
+/// dependency-free mirror enum (the trace crate sits below this one in
+/// the dependency graph, so it cannot name [`ServicedBy`] itself).
+fn service_level(s: ServicedBy) -> csmt_trace::ServiceLevel {
+    match s {
+        ServicedBy::L1 => csmt_trace::ServiceLevel::L1,
+        ServicedBy::L2 => csmt_trace::ServiceLevel::L2,
+        ServicedBy::LocalMem => csmt_trace::ServiceLevel::LocalMem,
+        ServicedBy::RemoteMem => csmt_trace::ServiceLevel::RemoteMem,
+        ServicedBy::RemoteL2 => csmt_trace::ServiceLevel::RemoteL2,
+    }
+}
+
 /// Result of a memory access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AccessOutcome {
@@ -103,7 +116,9 @@ impl MemorySystem {
         let lines_per_page = cfg.page_size / cfg.line_size as u64;
         let mut rng = csmt_isa::SplitMix64::new(seed);
         MemorySystem {
-            nodes: (0..nodes).map(|i| NodeMem::new(&cfg, rng.fork(i as u64).next_u64())).collect(),
+            nodes: (0..nodes)
+                .map(|i| NodeMem::new(&cfg, rng.fork(i as u64).next_u64()))
+                .collect(),
             dir: Directory::new(nodes, lines_per_page),
             cfg,
         }
@@ -128,6 +143,44 @@ impl MemorySystem {
 
     /// Perform a data access from `node` at cycle `now`.
     pub fn access(&mut self, node: usize, addr: u64, kind: AccessKind, now: u64) -> AccessOutcome {
+        self.access_probed(node, addr, kind, now, &mut csmt_trace::NullProbe)
+    }
+
+    /// [`access`](MemorySystem::access) with an observability probe: the
+    /// classified outcome is reported as a
+    /// [`CacheEvent`](csmt_trace::CacheEvent) when the probe wants cache
+    /// events. With [`NullProbe`](csmt_trace::NullProbe) this
+    /// monomorphizes to exactly `access`.
+    pub fn access_probed<P: csmt_trace::Probe>(
+        &mut self,
+        node: usize,
+        addr: u64,
+        kind: AccessKind,
+        now: u64,
+        probe: &mut P,
+    ) -> AccessOutcome {
+        let out = self.access_inner(node, addr, kind, now);
+        if P::WANTS_CACHE_EVENTS {
+            probe.cache_access(csmt_trace::CacheEvent {
+                cycle: now,
+                node: node as u32,
+                addr,
+                write: kind == AccessKind::Write,
+                level: service_level(out.serviced_by),
+                tlb_miss: out.tlb_miss,
+                complete_at: out.complete_at,
+            });
+        }
+        out
+    }
+
+    fn access_inner(
+        &mut self,
+        node: usize,
+        addr: u64,
+        kind: AccessKind,
+        now: u64,
+    ) -> AccessOutcome {
         debug_assert!(node < self.nodes.len());
         let line = self.cfg.line_of(addr);
         let page = self.cfg.page_of(addr);
@@ -207,11 +260,19 @@ impl MemorySystem {
                     self.coherence_latency(node, line, out.service, out.invalidations, &mut t)
                 }
             };
-            let serviced = if lat == 0 { ServicedBy::L1 } else { ServicedBy::LocalMem };
+            let serviced = if lat == 0 {
+                ServicedBy::L1
+            } else {
+                ServicedBy::LocalMem
+            };
             if lat == 0 {
                 self.nodes[node].stats.l1_hits += 1;
             }
-            return AccessOutcome { complete_at: t + self.cfg.l1_latency + lat, serviced_by: serviced, tlb_miss };
+            return AccessOutcome {
+                complete_at: t + self.cfg.l1_latency + lat,
+                serviced_by: serviced,
+                tlb_miss,
+            };
         }
 
         // 5. L1 miss: handle the victim writeback into L2, then consult the
@@ -264,11 +325,23 @@ impl MemorySystem {
                 let mut svc = ServicedBy::L2;
                 if is_write && self.nodes.len() > 1 {
                     let out = self.dir.write(line, node);
-                    self.apply_remote_side_effects(line, out.invalidated_mask, out.prev_owner, is_write, t);
+                    self.apply_remote_side_effects(
+                        line,
+                        out.invalidated_mask,
+                        out.prev_owner,
+                        is_write,
+                        t,
+                    );
                     if out.service != Service::None {
                         self.nodes[node].stats.upgrades += 1;
                         self.nodes[node].stats.invalidations += out.invalidations as u64;
-                        extra = self.coherence_latency(node, line, out.service, out.invalidations, &mut t);
+                        extra = self.coherence_latency(
+                            node,
+                            line,
+                            out.service,
+                            out.invalidations,
+                            &mut t,
+                        );
                         svc = ServicedBy::LocalMem;
                     }
                 }
@@ -297,9 +370,16 @@ impl MemorySystem {
                 } else {
                     self.dir.read(line, node)
                 };
-                self.apply_remote_side_effects(line, out.invalidated_mask, out.prev_owner, is_write, t);
+                self.apply_remote_side_effects(
+                    line,
+                    out.invalidated_mask,
+                    out.prev_owner,
+                    is_write,
+                    t,
+                );
                 self.nodes[node].stats.invalidations += out.invalidations as u64;
-                let lat = self.coherence_latency(node, line, out.service, out.invalidations, &mut t);
+                let lat =
+                    self.coherence_latency(node, line, out.service, out.invalidations, &mut t);
                 let svc = match out.service {
                     Service::LocalMem | Service::None => ServicedBy::LocalMem,
                     Service::RemoteMem => ServicedBy::RemoteMem,
@@ -329,7 +409,11 @@ impl MemorySystem {
             n.mshr.complete(line, complete_at);
         }
 
-        AccessOutcome { complete_at, serviced_by, tlb_miss }
+        AccessOutcome {
+            complete_at,
+            serviced_by,
+            tlb_miss,
+        }
     }
 
     /// Latency of the coherence service, reserving the resources involved:
@@ -359,7 +443,9 @@ impl MemorySystem {
         }
         // Home memory channel / directory controller.
         {
-            let start = self.nodes[home].mem_channel.reserve(*t, self.cfg.memory_occupancy);
+            let start = self.nodes[home]
+                .mem_channel
+                .reserve(*t, self.cfg.memory_occupancy);
             self.nodes[node].stats.contention_wait += start - *t;
             *t = start;
         }
@@ -369,7 +455,11 @@ impl MemorySystem {
             self.nodes[node].stats.contention_wait += start - *t;
             *t = start;
         }
-        let inval = if invalidations > 0 { self.cfg.invalidation_penalty } else { 0 };
+        let inval = if invalidations > 0 {
+            self.cfg.invalidation_penalty
+        } else {
+            0
+        };
         base + inval
     }
 
@@ -466,7 +556,9 @@ mod tests {
         let base_line = cfg.line_of(0x2000);
         let collide: Vec<u64> = (1u64..1_000_000)
             .map(|k| base_line + k)
-            .filter(|&l| l1.set_of(l) == l1.set_of(base_line) && l2.set_of(l) != l2.set_of(base_line))
+            .filter(|&l| {
+                l1.set_of(l) == l1.set_of(base_line) && l2.set_of(l) != l2.set_of(base_line)
+            })
             .take(2)
             .collect();
         m.access(0, 0x2000, AccessKind::Read, 0);
@@ -517,7 +609,7 @@ mod tests {
     fn dirty_remote_line_is_cache_to_cache_at_75() {
         let mut m = sys(4);
         let addr = 4096; // homed at node 1
-        // Warm node 0's TLB on a different line of the same page.
+                         // Warm node 0's TLB on a different line of the same page.
         m.access(0, addr + 64 * 5, AccessKind::Read, 0);
         // Node 2 writes the line (becomes Modified at node 2).
         m.access(2, addr, AccessKind::Write, 0);
@@ -570,7 +662,11 @@ mod tests {
         let x = m.access(0, a1, AccessKind::Read, now);
         let y = m.access(0, a2, AccessKind::Read, now);
         assert_eq!(x.complete_at, now + 1);
-        assert_eq!(y.complete_at, now + 2, "second access queues behind the bank");
+        assert_eq!(
+            y.complete_at,
+            now + 2,
+            "second access queues behind the bank"
+        );
     }
 
     #[test]
@@ -610,7 +706,11 @@ mod tests {
             for i in 0..2000u64 {
                 let node = (i % 4) as usize;
                 let addr = (i * 811) % (1 << 20);
-                let kind = if i % 3 == 0 { AccessKind::Write } else { AccessKind::Read };
+                let kind = if i % 3 == 0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
                 sum = sum.wrapping_add(m.access(node, addr, kind, i * 2).complete_at);
             }
             (sum, m.stats())

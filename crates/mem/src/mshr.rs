@@ -61,7 +61,9 @@ impl MshrFile {
         self.expire(now);
         if let Some(e) = self.entries.iter().find(|e| e.line == line) {
             self.merges += 1;
-            return MshrOutcome::Secondary { complete_at: e.complete_at };
+            return MshrOutcome::Secondary {
+                complete_at: e.complete_at,
+            };
         }
         let start = if self.entries.len() >= self.capacity {
             let earliest = self
@@ -101,7 +103,10 @@ impl MshrFile {
     /// fact a line still in flight (a secondary miss).
     pub fn outstanding_complete(&mut self, line: u64, now: u64) -> Option<u64> {
         self.expire(now);
-        self.entries.iter().find(|e| e.line == line).map(|e| e.complete_at)
+        self.entries
+            .iter()
+            .find(|e| e.line == line)
+            .map(|e| e.complete_at)
     }
 
     /// Outstanding misses at `now`.

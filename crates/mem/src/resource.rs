@@ -92,7 +92,11 @@ impl MultiResource {
     /// Create with `k ≥ 1` slots.
     pub fn new(k: usize) -> Self {
         assert!(k >= 1, "MultiResource needs at least one slot");
-        Self { slots: vec![0; k], total_wait: 0, uses: 0 }
+        Self {
+            slots: vec![0; k],
+            total_wait: 0,
+            uses: 0,
+        }
     }
 
     /// Reserve any slot at `now` for `occupancy`; returns service start.
@@ -171,7 +175,7 @@ mod tests {
     fn gap_too_small_pushes_past_the_interval() {
         let mut r = Resource::new();
         r.reserve(10, 5); // busy [10, 15)
-        // A 12-cycle job arriving at 5 does not fit in [5, 10); starts at 15.
+                          // A 12-cycle job arriving at 5 does not fit in [5, 10); starts at 15.
         assert_eq!(r.reserve(5, 12), 15);
         // A 3-cycle job arriving at 5 fits before.
         assert_eq!(r.reserve(5, 3), 5);

@@ -26,7 +26,11 @@ impl RefCache {
             ways.push((l, d || write)); // move to MRU
             return (true, None);
         }
-        let victim = if ways.len() >= self.assoc { Some(ways.remove(0)) } else { None };
+        let victim = if ways.len() >= self.assoc {
+            Some(ways.remove(0))
+        } else {
+            None
+        };
         ways.push((line, write));
         (false, victim)
     }

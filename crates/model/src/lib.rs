@@ -206,7 +206,11 @@ mod tests {
     #[test]
     fn fa_boxes_have_area_eight() {
         for m in FA {
-            assert!((m.max_threads() * m.max_ilp() - 8.0).abs() < 1e-12, "{}", m.name());
+            assert!(
+                (m.max_threads() * m.max_ilp() - 8.0).abs() < 1e-12,
+                "{}",
+                m.name()
+            );
         }
     }
 
@@ -270,7 +274,10 @@ mod tests {
         // Big app engulfing the box: region 2 (optimal).
         assert_eq!(fa2.region(AppPoint::new(4.0, 8.0)), Region::Optimal);
         // App with many threads but little ILP: region 3 for FA2.
-        assert_eq!(fa2.region(AppPoint::new(8.0, 1.0)), Region::BothUnderUtilized);
+        assert_eq!(
+            fa2.region(AppPoint::new(8.0, 1.0)),
+            Region::BothUnderUtilized
+        );
         // That same app is optimal for SMT2.
         assert_eq!(
             ArchModel::Smt { clusters: 2 }.region(AppPoint::new(8.0, 1.0)),

@@ -1,0 +1,36 @@
+//! # csmt-trace — zero-cost simulation observability
+//!
+//! Pipeline event probes for the clustered-SMT simulator. The pipeline,
+//! machine, and memory hierarchy are generic over a [`Probe`]; every probe
+//! call sits behind an associated `const` flag, so when the simulator is
+//! instantiated with [`NullProbe`] (the default, used by every figure
+//! binary and test) the instrumented code monomorphizes to exactly the
+//! uninstrumented pipeline — zero branches, zero stores, zero allocation.
+//!
+//! Three concrete probes ship with the crate:
+//!
+//! * [`IntervalSampler`] — JSONL heartbeats every N cycles: interval IPC,
+//!   the §4.1 wasted-slot breakdown as fractions (legend order), cache
+//!   miss rates, and running-thread count. One JSON object per line.
+//! * [`PipeviewProbe`] — per-instruction pipeline traces in gem5's
+//!   O3PipeView format, viewable in [Konata](https://github.com/shioyadan/Konata).
+//! * [`StatsRegistry`] — not a probe but a sink: named, serializable
+//!   stat sections assembled into one machine-readable JSON document.
+//!
+//! Probes compose structurally: `(A, B)` is a probe that forwards to both,
+//! `Option<P>` forwards when `Some`, and `&mut P` forwards through the
+//! reference. Wants-flags OR together, so a disabled member of a pair
+//! still costs nothing.
+
+mod pipeview;
+mod probe;
+mod registry;
+mod sampler;
+
+pub use pipeview::PipeviewProbe;
+pub use probe::{
+    CacheEvent, CycleStats, FetchEvent, NullProbe, Probe, ServiceLevel, StageEvent, SyncEvent,
+    SyncEventKind, HAZARD_LABELS,
+};
+pub use registry::StatsRegistry;
+pub use sampler::IntervalSampler;

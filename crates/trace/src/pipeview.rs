@@ -1,0 +1,326 @@
+//! Per-instruction pipeline traces in gem5's O3PipeView format.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use csmt_isa::OpClass;
+
+use crate::probe::{FetchEvent, Probe, StageEvent};
+
+/// Simulated ticks per machine cycle in the emitted trace. gem5 runs its
+/// O3 model at 500 ticks/cycle (1 ps ticks, 2 GHz), and Konata's format
+/// detection is happiest with the same granularity.
+pub const TICKS_PER_CYCLE: u64 = 500;
+
+/// An instruction in flight between fetch and commit/squash.
+#[derive(Debug, Clone, Copy)]
+struct Inflight {
+    fetch: u64,
+    issue: Option<u64>,
+    writeback: Option<u64>,
+    thread: u32,
+    pc: u64,
+    op: OpClass,
+    wrong_path: bool,
+}
+
+/// Streams instruction lifetimes in gem5's `O3PipeView` trace format,
+/// loadable by Konata and gem5's `util/o3-pipeview.py`:
+///
+/// ```text
+/// O3PipeView:fetch:42000:0x00001234:0:7:IntAlu t0 c0
+/// O3PipeView:decode:42000
+/// O3PipeView:rename:42000
+/// O3PipeView:dispatch:42000
+/// O3PipeView:issue:42500
+/// O3PipeView:complete:43500
+/// O3PipeView:retire:44000:store:0
+/// ```
+///
+/// The front end is single-cycle, so decode/rename/dispatch share the
+/// fetch tick. A squashed instruction is emitted with retire tick 0
+/// (gem5's convention for "never retired"); its missing stage ticks are
+/// clamped to the last stage it reached, keeping timestamps
+/// monotonically non-decreasing in every record. Records are written
+/// when the instruction leaves the pipeline (commit or squash), so
+/// memory stays bounded by the number of instructions in flight.
+///
+/// `max_records` (see [`with_limit`](PipeviewProbe::with_limit)) caps
+/// the number of records written — traces grow by roughly 200 bytes per
+/// instruction, so an uncapped billion-instruction run is a 200 GB file.
+pub struct PipeviewProbe<W: Write = BufWriter<File>> {
+    out: W,
+    inflight: HashMap<(u32, u64), Inflight>,
+    written: u64,
+    max_records: u64,
+    error: Option<io::Error>,
+}
+
+impl PipeviewProbe<BufWriter<File>> {
+    /// Create a probe writing to the file at `path`, unlimited records.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> PipeviewProbe<W> {
+    /// Create a probe over any writer, with no record limit.
+    pub fn new(out: W) -> Self {
+        Self::with_limit(out, u64::MAX)
+    }
+
+    /// Create a probe that stops writing after `max_records` instruction
+    /// records (instructions beyond the cap are still tracked and
+    /// dropped silently, keeping memory bounded).
+    pub fn with_limit(out: W, max_records: u64) -> Self {
+        PipeviewProbe {
+            out,
+            inflight: HashMap::new(),
+            written: 0,
+            max_records,
+            error: None,
+        }
+    }
+
+    /// Records written so far.
+    pub fn records_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flush buffered output, returning the first I/O error seen.
+    pub fn finish(&mut self) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()
+    }
+
+    fn retire(&mut self, e: StageEvent, committed: bool) {
+        let Some(inst) = self.inflight.remove(&(e.cluster, e.uid)) else {
+            return;
+        };
+        if self.written >= self.max_records || self.error.is_some() {
+            return;
+        }
+        self.written += 1;
+
+        // Clamp missing/out-of-order stages so ticks never decrease.
+        let issue_c = inst.issue.unwrap_or(inst.fetch).max(inst.fetch);
+        let complete_c = inst.writeback.unwrap_or(issue_c).max(issue_c);
+        let retire_c = e.cycle.max(complete_c);
+
+        let t = TICKS_PER_CYCLE;
+        // A machine-unique display sequence number: cluster in the high
+        // bits, cluster-local uid in the low 40.
+        let sn = (u64::from(e.cluster) << 40) | (e.uid & ((1 << 40) - 1));
+        let wp = if inst.wrong_path { " WP" } else { "" };
+        let line = format!(
+            "O3PipeView:fetch:{ft}:{pc:#010x}:0:{sn}:{op:?} t{tid} c{cl}{wp}\n\
+             O3PipeView:decode:{ft}\n\
+             O3PipeView:rename:{ft}\n\
+             O3PipeView:dispatch:{ft}\n\
+             O3PipeView:issue:{it}\n\
+             O3PipeView:complete:{ct}\n\
+             O3PipeView:retire:{rt}:store:0\n",
+            ft = inst.fetch * t,
+            pc = inst.pc,
+            op = inst.op,
+            tid = inst.thread,
+            cl = e.cluster,
+            it = issue_c * t,
+            ct = complete_c * t,
+            rt = if committed { retire_c * t } else { 0 },
+        );
+        if let Err(err) = self.out.write_all(line.as_bytes()) {
+            self.error = Some(err);
+        }
+    }
+}
+
+impl<W: Write> Probe for PipeviewProbe<W> {
+    const WANTS_INST_EVENTS: bool = true;
+    const WANTS_CACHE_EVENTS: bool = false;
+    const WANTS_CYCLE_STATS: bool = false;
+
+    fn fetch(&mut self, e: FetchEvent) {
+        self.inflight.insert(
+            (e.cluster, e.uid),
+            Inflight {
+                fetch: e.cycle,
+                issue: None,
+                writeback: None,
+                thread: e.thread,
+                pc: e.pc,
+                op: e.op,
+                wrong_path: e.wrong_path,
+            },
+        );
+    }
+
+    fn issue(&mut self, e: StageEvent) {
+        if let Some(i) = self.inflight.get_mut(&(e.cluster, e.uid)) {
+            i.issue = Some(e.cycle);
+        }
+    }
+
+    fn writeback(&mut self, e: StageEvent) {
+        if let Some(i) = self.inflight.get_mut(&(e.cluster, e.uid)) {
+            i.writeback = Some(e.cycle);
+        }
+    }
+
+    fn commit(&mut self, e: StageEvent) {
+        self.retire(e, true);
+    }
+
+    fn squash(&mut self, e: StageEvent) {
+        self.retire(e, false);
+    }
+}
+
+impl<W: Write> Drop for PipeviewProbe<W> {
+    fn drop(&mut self) {
+        let _ = self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fetch(cluster: u32, uid: u64, cycle: u64) -> FetchEvent {
+        FetchEvent {
+            cycle,
+            cluster,
+            thread: 1,
+            uid,
+            pc: 0x400 + uid * 4,
+            op: OpClass::IntAlu,
+            wrong_path: false,
+        }
+    }
+
+    fn stage(cluster: u32, uid: u64, cycle: u64) -> StageEvent {
+        StageEvent {
+            cycle,
+            cluster,
+            uid,
+        }
+    }
+
+    fn lines(buf: Vec<u8>) -> Vec<String> {
+        String::from_utf8(buf)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect()
+    }
+
+    #[test]
+    fn committed_instruction_emits_full_record() {
+        let mut buf = Vec::new();
+        {
+            let mut p = PipeviewProbe::new(&mut buf);
+            p.fetch(fetch(0, 7, 10));
+            p.issue(stage(0, 7, 12));
+            p.writeback(stage(0, 7, 14));
+            p.commit(stage(0, 7, 15));
+            p.finish().unwrap();
+        }
+        let ls = lines(buf);
+        assert_eq!(ls.len(), 7);
+        assert_eq!(ls[0], "O3PipeView:fetch:5000:0x0000041c:0:7:IntAlu t1 c0");
+        assert_eq!(ls[1], "O3PipeView:decode:5000");
+        assert_eq!(ls[4], "O3PipeView:issue:6000");
+        assert_eq!(ls[5], "O3PipeView:complete:7000");
+        assert_eq!(ls[6], "O3PipeView:retire:7500:store:0");
+    }
+
+    #[test]
+    fn squashed_instruction_retires_at_tick_zero_with_clamped_stages() {
+        let mut buf = Vec::new();
+        {
+            let mut p = PipeviewProbe::new(&mut buf);
+            p.fetch(fetch(2, 3, 5));
+            p.squash(stage(2, 3, 6)); // never issued
+            p.finish().unwrap();
+        }
+        let ls = lines(buf);
+        // issue/complete clamp to the fetch tick; retire tick 0 marks
+        // the squash.
+        assert_eq!(ls[4], "O3PipeView:issue:2500");
+        assert_eq!(ls[5], "O3PipeView:complete:2500");
+        assert_eq!(ls[6], "O3PipeView:retire:0:store:0");
+    }
+
+    #[test]
+    fn stage_ticks_never_decrease_within_a_record() {
+        let mut buf = Vec::new();
+        {
+            let mut p = PipeviewProbe::new(&mut buf);
+            for uid in 0..20u64 {
+                p.fetch(fetch(0, uid, uid));
+                if uid % 3 != 0 {
+                    p.issue(stage(0, uid, uid + 2));
+                }
+                if uid % 4 != 0 {
+                    p.writeback(stage(0, uid, uid + 5));
+                }
+                if uid % 5 == 0 {
+                    p.squash(stage(0, uid, uid + 6));
+                } else {
+                    p.commit(stage(0, uid, uid + 6));
+                }
+            }
+            p.finish().unwrap();
+        }
+        let ls = lines(buf);
+        for rec in ls.chunks(7) {
+            let tick = |l: &str| l.split(':').nth(2).unwrap().parse::<u64>().unwrap();
+            let seq = [tick(&rec[0]), tick(&rec[2]), tick(&rec[4]), tick(&rec[5])];
+            assert!(
+                seq.windows(2).all(|w| w[0] <= w[1]),
+                "non-monotonic: {seq:?}"
+            );
+            let retire = tick(&rec[6]);
+            assert!(retire == 0 || retire >= seq[3]);
+        }
+    }
+
+    #[test]
+    fn record_limit_caps_output_but_keeps_draining() {
+        let mut buf = Vec::new();
+        {
+            let mut p = PipeviewProbe::with_limit(&mut buf, 2);
+            for uid in 0..5u64 {
+                p.fetch(fetch(0, uid, uid));
+                p.commit(stage(0, uid, uid + 3));
+            }
+            assert_eq!(p.records_written(), 2);
+            assert!(p.inflight.is_empty());
+            p.finish().unwrap();
+        }
+        assert_eq!(lines(buf).len(), 14);
+    }
+
+    #[test]
+    fn clusters_do_not_collide_on_uid() {
+        let mut buf = Vec::new();
+        {
+            let mut p = PipeviewProbe::new(&mut buf);
+            p.fetch(fetch(0, 9, 1));
+            p.fetch(fetch(1, 9, 2));
+            p.commit(stage(1, 9, 4));
+            p.commit(stage(0, 9, 5));
+            p.finish().unwrap();
+        }
+        let ls = lines(buf);
+        assert_eq!(ls.len(), 14);
+        // First record out is cluster 1's instruction (fetched cycle 2).
+        assert!(ls[0].contains(":1000:"));
+        assert!(ls[0].ends_with("c1"));
+        assert!(ls[7].ends_with("c0"));
+    }
+}

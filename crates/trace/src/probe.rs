@@ -1,0 +1,486 @@
+//! The [`Probe`] trait, its event payloads, and structural composition.
+
+use csmt_isa::{OpClass, SyncOp};
+
+/// Hazard labels in the paper's legend order (§4.1), matching
+/// `csmt_cpu::Hazard::ALL` / `Hazard::index()`. Kept here (rather than
+/// imported) because the dependency arrow points the other way: the CPU
+/// crate depends on this one. `csmt-cpu` has a test pinning the two lists
+/// to each other.
+pub const HAZARD_LABELS: [&str; 7] = [
+    "other",
+    "structural",
+    "memory",
+    "data",
+    "control",
+    "sync",
+    "fetch",
+];
+
+/// Which level of the hierarchy serviced a memory access. Mirrors
+/// `csmt_mem::ServicedBy` (same variants, same meaning); duplicated here
+/// because `csmt-mem` depends on this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceLevel {
+    /// Hit in the node's L1 bank.
+    L1,
+    /// Hit in the shared L2 (or merged into an in-flight MSHR).
+    L2,
+    /// Serviced by the node's local memory.
+    LocalMem,
+    /// Serviced by a remote node's memory across the interconnect.
+    RemoteMem,
+    /// Dirty line forwarded from a remote L2.
+    RemoteL2,
+}
+
+impl ServiceLevel {
+    /// Short lowercase name for trace output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServiceLevel::L1 => "l1",
+            ServiceLevel::L2 => "l2",
+            ServiceLevel::LocalMem => "local_mem",
+            ServiceLevel::RemoteMem => "remote_mem",
+            ServiceLevel::RemoteL2 => "remote_l2",
+        }
+    }
+}
+
+/// An instruction entering the pipeline (fetched, then renamed the same
+/// cycle — the front end is single-cycle, see `ClusterConfig`).
+#[derive(Debug, Clone, Copy)]
+pub struct FetchEvent {
+    /// Cycle the instruction was fetched.
+    pub cycle: u64,
+    /// Machine-global cluster index (chip-major).
+    pub cluster: u32,
+    /// Hardware context within the cluster.
+    pub thread: u32,
+    /// Cluster-local instruction sequence number; unique per cluster for
+    /// the lifetime of the run. `(cluster, uid)` is machine-unique.
+    pub uid: u64,
+    /// Program counter.
+    pub pc: u64,
+    /// Operation class (carries latency/FU info via `csmt_isa`).
+    pub op: OpClass,
+    /// True if fetched down a mispredicted path (will be squashed).
+    pub wrong_path: bool,
+}
+
+/// An already-fetched instruction advancing one pipeline stage (issue,
+/// writeback, commit) or being squashed. `(cluster, uid)` keys back to
+/// the [`FetchEvent`] that introduced it.
+#[derive(Debug, Clone, Copy)]
+pub struct StageEvent {
+    /// Cycle the stage happened.
+    pub cycle: u64,
+    /// Machine-global cluster index.
+    pub cluster: u32,
+    /// Cluster-local sequence number from the fetch event.
+    pub uid: u64,
+}
+
+/// One memory-hierarchy access (load issue or store commit).
+#[derive(Debug, Clone, Copy)]
+pub struct CacheEvent {
+    /// Cycle the access entered the hierarchy.
+    pub cycle: u64,
+    /// NUMA node (chip) performing the access.
+    pub node: u32,
+    /// Physical address.
+    pub addr: u64,
+    /// True for stores.
+    pub write: bool,
+    /// Level that serviced the access.
+    pub level: ServiceLevel,
+    /// True if the access also missed the TLB.
+    pub tlb_miss: bool,
+    /// Cycle the data becomes available.
+    pub complete_at: u64,
+}
+
+/// What a software thread did at a synchronization point.
+#[derive(Debug, Clone, Copy)]
+pub enum SyncEventKind {
+    /// Thread reached a synchronization operation and parked.
+    Reached(SyncOp),
+    /// Thread ran its stream to completion.
+    Done,
+    /// Runtime resumed the thread (barrier released / lock granted).
+    Resumed,
+}
+
+/// A runtime-level synchronization event (§3.3 fork-join runtime).
+#[derive(Debug, Clone, Copy)]
+pub struct SyncEvent {
+    /// Cycle the event was processed by the runtime.
+    pub cycle: u64,
+    /// Software thread id (machine-global).
+    pub thread: u32,
+    /// What happened.
+    pub kind: SyncEventKind,
+}
+
+/// Cumulative machine-level counters snapshotted at the end of a cycle.
+///
+/// All fields are running totals since cycle 0 (except
+/// [`running_threads`](CycleStats::running_threads), which is
+/// instantaneous); consumers that want per-interval figures difference
+/// two snapshots, as [`IntervalSampler`](crate::IntervalSampler) does.
+/// Slot conservation holds at every snapshot:
+/// `useful + wasted.iter().sum() == slots` (up to float rounding),
+/// which is what makes differenced hazard fractions sum to 1.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CycleStats {
+    /// Issue slots that did useful (eventually committed) work.
+    pub useful: f64,
+    /// Wasted slots by hazard, legend order ([`HAZARD_LABELS`]).
+    pub wasted: [f64; 7],
+    /// Total issue slots offered (`issue_width × cycles`, summed over
+    /// clusters).
+    pub slots: u64,
+    /// Cycles elapsed.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Software threads currently running (instantaneous).
+    pub running_threads: u32,
+    /// Memory accesses entering the hierarchy.
+    pub accesses: u64,
+    /// Accesses serviced by L1.
+    pub l1_hits: u64,
+    /// Accesses serviced by L2 (incl. MSHR merges).
+    pub l2_hits: u64,
+    /// Accesses that missed the TLB.
+    pub tlb_misses: u64,
+}
+
+/// Observer of per-cycle pipeline events.
+///
+/// Every method has an empty default body and sits behind one of the
+/// three `WANTS_*` associated consts. Call sites in the simulator are
+/// written as
+///
+/// ```ignore
+/// if P::WANTS_INST_EVENTS {
+///     probe.commit(StageEvent { cycle, cluster, uid });
+/// }
+/// ```
+///
+/// so for [`NullProbe`] (all flags `false`) the event construction and
+/// the call are both statically eliminated. Implementors opt in by
+/// overriding the relevant flag(s) and method(s).
+pub trait Probe {
+    /// Wants per-instruction events: [`fetch`](Probe::fetch),
+    /// [`rename`](Probe::rename), [`issue`](Probe::issue),
+    /// [`writeback`](Probe::writeback), [`commit`](Probe::commit),
+    /// [`squash`](Probe::squash), and [`sync_event`](Probe::sync_event).
+    const WANTS_INST_EVENTS: bool = true;
+    /// Wants [`cache_access`](Probe::cache_access) events.
+    const WANTS_CACHE_EVENTS: bool = true;
+    /// Wants a [`CycleStats`] snapshot with each
+    /// [`cycle_end`](Probe::cycle_end). Building the snapshot costs a
+    /// pass over the clusters' stats, so it is gated separately.
+    const WANTS_CYCLE_STATS: bool = true;
+
+    /// Instruction fetched into a cluster's instruction window.
+    #[inline]
+    fn fetch(&mut self, _e: FetchEvent) {}
+    /// Instruction renamed (same cycle as fetch in this pipeline).
+    #[inline]
+    fn rename(&mut self, _e: StageEvent) {}
+    /// Instruction issued to a functional unit.
+    #[inline]
+    fn issue(&mut self, _e: StageEvent) {}
+    /// Instruction finished execution and wrote back.
+    #[inline]
+    fn writeback(&mut self, _e: StageEvent) {}
+    /// Instruction retired.
+    #[inline]
+    fn commit(&mut self, _e: StageEvent) {}
+    /// Instruction squashed by a branch misprediction.
+    #[inline]
+    fn squash(&mut self, _e: StageEvent) {}
+    /// Memory access classified by the hierarchy.
+    #[inline]
+    fn cache_access(&mut self, _e: CacheEvent) {}
+    /// Runtime synchronization event.
+    #[inline]
+    fn sync_event(&mut self, _e: SyncEvent) {}
+    /// End of a machine cycle. `stats` is `Some` iff
+    /// [`WANTS_CYCLE_STATS`](Probe::WANTS_CYCLE_STATS).
+    #[inline]
+    fn cycle_end(&mut self, _cycle: u64, _stats: Option<&CycleStats>) {}
+}
+
+/// The probe that observes nothing. All wants-flags are `false`, so
+/// simulator code instantiated with `NullProbe` compiles to the
+/// uninstrumented pipeline (verified by the `probe_overhead` bench in
+/// `csmt-bench`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullProbe;
+
+impl Probe for NullProbe {
+    const WANTS_INST_EVENTS: bool = false;
+    const WANTS_CACHE_EVENTS: bool = false;
+    const WANTS_CYCLE_STATS: bool = false;
+}
+
+impl<P: Probe + ?Sized> Probe for &mut P {
+    const WANTS_INST_EVENTS: bool = P::WANTS_INST_EVENTS;
+    const WANTS_CACHE_EVENTS: bool = P::WANTS_CACHE_EVENTS;
+    const WANTS_CYCLE_STATS: bool = P::WANTS_CYCLE_STATS;
+
+    #[inline]
+    fn fetch(&mut self, e: FetchEvent) {
+        (**self).fetch(e);
+    }
+    #[inline]
+    fn rename(&mut self, e: StageEvent) {
+        (**self).rename(e);
+    }
+    #[inline]
+    fn issue(&mut self, e: StageEvent) {
+        (**self).issue(e);
+    }
+    #[inline]
+    fn writeback(&mut self, e: StageEvent) {
+        (**self).writeback(e);
+    }
+    #[inline]
+    fn commit(&mut self, e: StageEvent) {
+        (**self).commit(e);
+    }
+    #[inline]
+    fn squash(&mut self, e: StageEvent) {
+        (**self).squash(e);
+    }
+    #[inline]
+    fn cache_access(&mut self, e: CacheEvent) {
+        (**self).cache_access(e);
+    }
+    #[inline]
+    fn sync_event(&mut self, e: SyncEvent) {
+        (**self).sync_event(e);
+    }
+    #[inline]
+    fn cycle_end(&mut self, cycle: u64, stats: Option<&CycleStats>) {
+        (**self).cycle_end(cycle, stats);
+    }
+}
+
+/// `Option<P>` is a probe that forwards when `Some`. The wants-flags are
+/// those of `P` (statically — a `None` still pays the flag's cost in the
+/// simulator, but not the probe's own work).
+impl<P: Probe> Probe for Option<P> {
+    const WANTS_INST_EVENTS: bool = P::WANTS_INST_EVENTS;
+    const WANTS_CACHE_EVENTS: bool = P::WANTS_CACHE_EVENTS;
+    const WANTS_CYCLE_STATS: bool = P::WANTS_CYCLE_STATS;
+
+    #[inline]
+    fn fetch(&mut self, e: FetchEvent) {
+        if let Some(p) = self {
+            p.fetch(e);
+        }
+    }
+    #[inline]
+    fn rename(&mut self, e: StageEvent) {
+        if let Some(p) = self {
+            p.rename(e);
+        }
+    }
+    #[inline]
+    fn issue(&mut self, e: StageEvent) {
+        if let Some(p) = self {
+            p.issue(e);
+        }
+    }
+    #[inline]
+    fn writeback(&mut self, e: StageEvent) {
+        if let Some(p) = self {
+            p.writeback(e);
+        }
+    }
+    #[inline]
+    fn commit(&mut self, e: StageEvent) {
+        if let Some(p) = self {
+            p.commit(e);
+        }
+    }
+    #[inline]
+    fn squash(&mut self, e: StageEvent) {
+        if let Some(p) = self {
+            p.squash(e);
+        }
+    }
+    #[inline]
+    fn cache_access(&mut self, e: CacheEvent) {
+        if let Some(p) = self {
+            p.cache_access(e);
+        }
+    }
+    #[inline]
+    fn sync_event(&mut self, e: SyncEvent) {
+        if let Some(p) = self {
+            p.sync_event(e);
+        }
+    }
+    #[inline]
+    fn cycle_end(&mut self, cycle: u64, stats: Option<&CycleStats>) {
+        if let Some(p) = self {
+            p.cycle_end(cycle, stats);
+        }
+    }
+}
+
+/// A pair of probes forwards every event to both; wants-flags OR.
+impl<A: Probe, B: Probe> Probe for (A, B) {
+    const WANTS_INST_EVENTS: bool = A::WANTS_INST_EVENTS || B::WANTS_INST_EVENTS;
+    const WANTS_CACHE_EVENTS: bool = A::WANTS_CACHE_EVENTS || B::WANTS_CACHE_EVENTS;
+    const WANTS_CYCLE_STATS: bool = A::WANTS_CYCLE_STATS || B::WANTS_CYCLE_STATS;
+
+    #[inline]
+    fn fetch(&mut self, e: FetchEvent) {
+        self.0.fetch(e);
+        self.1.fetch(e);
+    }
+    #[inline]
+    fn rename(&mut self, e: StageEvent) {
+        self.0.rename(e);
+        self.1.rename(e);
+    }
+    #[inline]
+    fn issue(&mut self, e: StageEvent) {
+        self.0.issue(e);
+        self.1.issue(e);
+    }
+    #[inline]
+    fn writeback(&mut self, e: StageEvent) {
+        self.0.writeback(e);
+        self.1.writeback(e);
+    }
+    #[inline]
+    fn commit(&mut self, e: StageEvent) {
+        self.0.commit(e);
+        self.1.commit(e);
+    }
+    #[inline]
+    fn squash(&mut self, e: StageEvent) {
+        self.0.squash(e);
+        self.1.squash(e);
+    }
+    #[inline]
+    fn cache_access(&mut self, e: CacheEvent) {
+        self.0.cache_access(e);
+        self.1.cache_access(e);
+    }
+    #[inline]
+    fn sync_event(&mut self, e: SyncEvent) {
+        self.0.sync_event(e);
+        self.1.sync_event(e);
+    }
+    #[inline]
+    fn cycle_end(&mut self, cycle: u64, stats: Option<&CycleStats>) {
+        self.0.cycle_end(cycle, stats);
+        self.1.cycle_end(cycle, stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Records how many events of each kind it saw.
+    #[derive(Default)]
+    struct Counter {
+        fetches: u32,
+        commits: u32,
+        cycles: u32,
+    }
+
+    impl Probe for Counter {
+        fn fetch(&mut self, _e: FetchEvent) {
+            self.fetches += 1;
+        }
+        fn commit(&mut self, _e: StageEvent) {
+            self.commits += 1;
+        }
+        fn cycle_end(&mut self, _cycle: u64, _stats: Option<&CycleStats>) {
+            self.cycles += 1;
+        }
+    }
+
+    fn stage(cycle: u64) -> StageEvent {
+        StageEvent {
+            cycle,
+            cluster: 0,
+            uid: 1,
+        }
+    }
+
+    /// The wants-flags of `P`, materialized as runtime values.
+    fn wants<P: Probe>() -> [bool; 3] {
+        [P::WANTS_INST_EVENTS, P::WANTS_CACHE_EVENTS, P::WANTS_CYCLE_STATS]
+    }
+
+    #[test]
+    fn null_probe_wants_nothing() {
+        assert_eq!(wants::<NullProbe>(), [false; 3]);
+    }
+
+    #[test]
+    fn pair_flags_or_together() {
+        assert_eq!(wants::<(Counter, NullProbe)>(), [true; 3]);
+        assert_eq!(wants::<(NullProbe, NullProbe)>(), [false; 3]);
+        assert_eq!(wants::<(NullProbe, Counter)>(), [true; 3]);
+    }
+
+    #[test]
+    fn pair_forwards_to_both_members() {
+        let mut pair = (Counter::default(), Counter::default());
+        pair.commit(stage(3));
+        pair.commit(stage(4));
+        pair.cycle_end(4, None);
+        assert_eq!(pair.0.commits, 2);
+        assert_eq!(pair.1.commits, 2);
+        assert_eq!(pair.0.cycles, 1);
+    }
+
+    #[test]
+    fn option_forwards_only_when_some() {
+        let mut none: Option<Counter> = None;
+        none.commit(stage(0));
+        let mut some = Some(Counter::default());
+        some.commit(stage(0));
+        assert_eq!(some.unwrap().commits, 1);
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        let mut c = Counter::default();
+        {
+            let r = &mut c;
+            r.fetch(FetchEvent {
+                cycle: 0,
+                cluster: 0,
+                thread: 0,
+                uid: 0,
+                pc: 0,
+                op: csmt_isa::OpClass::IntAlu,
+                wrong_path: false,
+            });
+        }
+        assert_eq!(c.fetches, 1);
+        assert_eq!(wants::<&mut Counter>(), [true; 3]);
+    }
+
+    #[test]
+    fn hazard_labels_are_unique() {
+        for (i, a) in HAZARD_LABELS.iter().enumerate() {
+            for b in HAZARD_LABELS.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

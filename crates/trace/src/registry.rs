@@ -1,0 +1,133 @@
+//! Named, serializable stat sections assembled into one JSON document.
+
+use std::io;
+use std::path::Path;
+
+use serde::{Serialize, Value};
+
+/// Collects named stat sections — anything [`Serialize`] — and renders
+/// them as a single insertion-ordered JSON object. This is the
+/// machine-readable counterpart to the text tables the figure binaries
+/// print: a binary records each run's `RunResult` (now fully
+/// serializable, slot and memory statistics included) plus any summary
+/// rows, then writes the whole registry once.
+///
+/// ```
+/// use csmt_trace::StatsRegistry;
+///
+/// let mut reg = StatsRegistry::new();
+/// reg.record("cycles", &1234u64);
+/// reg.record("arch", "SMT2");
+/// assert_eq!(reg.to_json(), r#"{"cycles":1234,"arch":"SMT2"}"#);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StatsRegistry {
+    sections: Vec<(String, Value)>,
+}
+
+impl StatsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+
+    /// Number of sections.
+    pub fn len(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// Record `value` under `name`, replacing any previous section with
+    /// the same name (in place, keeping its position).
+    pub fn record<T: Serialize + ?Sized>(&mut self, name: &str, value: &T) {
+        self.record_value(name, value.to_value());
+    }
+
+    /// Record an already-built [`Value`].
+    pub fn record_value(&mut self, name: &str, value: Value) {
+        match self.sections.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v = value,
+            None => self.sections.push((name.to_string(), value)),
+        }
+    }
+
+    /// The section recorded under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+    }
+
+    /// The registry as one JSON object value.
+    pub fn to_value(&self) -> Value {
+        Value::Object(self.sections.clone())
+    }
+
+    /// Compact JSON rendering.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.to_value().render(&mut out);
+        out
+    }
+
+    /// Pretty (2-space indented) JSON rendering.
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.to_value().render_pretty(&mut out);
+        out
+    }
+
+    /// Write the pretty rendering to `path`.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut body = self.to_json_pretty();
+        body.push('\n');
+        std::fs::write(path, body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sections_keep_insertion_order() {
+        let mut reg = StatsRegistry::new();
+        reg.record("z_last_alphabetically_first_inserted", &1u32);
+        reg.record("a", &2u32);
+        let json = reg.to_json();
+        assert!(json.find("z_last").unwrap() < json.find("\"a\"").unwrap());
+    }
+
+    #[test]
+    fn record_replaces_in_place() {
+        let mut reg = StatsRegistry::new();
+        reg.record("x", &1u32);
+        reg.record("y", &2u32);
+        reg.record("x", &9u32);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.get("x").and_then(Value::as_u64), Some(9));
+        assert!(reg.to_json().starts_with(r#"{"x":9"#));
+    }
+
+    #[test]
+    fn roundtrips_through_serde_json() {
+        let mut reg = StatsRegistry::new();
+        reg.record("nums", &[1.5f64, 2.0][..]);
+        reg.record("name", "FA8");
+        let parsed: Value = serde_json::from_str(&reg.to_json_pretty()).unwrap();
+        assert_eq!(parsed["nums"][1].as_f64(), Some(2.0));
+        assert_eq!(parsed["name"], "FA8");
+    }
+
+    #[test]
+    fn empty_registry_renders_empty_object() {
+        let reg = StatsRegistry::new();
+        assert!(reg.is_empty());
+        assert_eq!(reg.to_json(), "{}");
+    }
+}

@@ -1,0 +1,268 @@
+//! JSONL heartbeat sampler: one JSON object every N cycles.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use serde::Value;
+
+use crate::probe::{CycleStats, Probe, HAZARD_LABELS};
+
+/// Emits a machine heartbeat as one JSON object per line, every
+/// `interval` cycles, by differencing consecutive [`CycleStats`]
+/// snapshots. Each record carries the interval's IPC, the §4.1 slot
+/// breakdown both as raw slot counts and as fractions in the paper's
+/// legend order, cache miss rates, and the running-thread count at the
+/// interval boundary.
+///
+/// Because `SlotStats::record_cycle` conserves slots
+/// (`useful + Σ wasted == issue_width × cycles` every cycle), the
+/// emitted `useful_frac + Σ wasted_frac` sums to 1 for every interval,
+/// and the raw slot counts across all records telescope to the final
+/// `SlotStats` of the run.
+///
+/// A final partial interval (if any cycles ran past the last boundary)
+/// is emitted by [`finish`](IntervalSampler::finish), which [`Drop`]
+/// also calls best-effort. I/O errors are sticky: the first one stops
+/// further output and is returned by `finish`.
+pub struct IntervalSampler<W: Write = BufWriter<File>> {
+    out: W,
+    interval: u64,
+    /// Snapshot at the last emitted boundary.
+    prev: CycleStats,
+    /// Most recent snapshot seen.
+    last: CycleStats,
+    last_cycle: u64,
+    /// Snapshots arrived since the last emission.
+    pending: bool,
+    error: Option<io::Error>,
+}
+
+impl IntervalSampler<BufWriter<File>> {
+    /// Create a sampler writing JSONL to the file at `path`.
+    pub fn create(path: impl AsRef<Path>, interval: u64) -> io::Result<Self> {
+        Ok(Self::new(BufWriter::new(File::create(path)?), interval))
+    }
+}
+
+impl<W: Write> IntervalSampler<W> {
+    /// Create a sampler over any writer. `interval` must be non-zero.
+    pub fn new(out: W, interval: u64) -> Self {
+        assert!(interval > 0, "heartbeat interval must be non-zero");
+        IntervalSampler {
+            out,
+            interval,
+            prev: CycleStats::default(),
+            last: CycleStats::default(),
+            last_cycle: 0,
+            pending: false,
+            error: None,
+        }
+    }
+
+    /// Emit the trailing partial interval (if any) and flush. Returns
+    /// the first I/O error encountered over the sampler's lifetime.
+    pub fn finish(&mut self) -> io::Result<()> {
+        if self.pending && self.last.cycles > self.prev.cycles {
+            self.emit(self.last_cycle);
+        }
+        self.pending = false;
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()
+    }
+
+    fn emit(&mut self, cycle: u64) {
+        if self.error.is_some() {
+            return;
+        }
+        let rec = heartbeat_record(&self.prev, &self.last, cycle);
+        let mut line = String::new();
+        rec.render(&mut line);
+        line.push('\n');
+        if let Err(e) = self.out.write_all(line.as_bytes()) {
+            self.error = Some(e);
+        }
+        self.prev = self.last;
+        self.pending = false;
+    }
+}
+
+impl<W: Write> Probe for IntervalSampler<W> {
+    const WANTS_INST_EVENTS: bool = false;
+    const WANTS_CACHE_EVENTS: bool = false;
+    const WANTS_CYCLE_STATS: bool = true;
+
+    fn cycle_end(&mut self, cycle: u64, stats: Option<&CycleStats>) {
+        let Some(stats) = stats else { return };
+        self.last = *stats;
+        self.last_cycle = cycle;
+        self.pending = true;
+        if (cycle + 1).is_multiple_of(self.interval) {
+            self.emit(cycle);
+        }
+    }
+}
+
+impl<W: Write> Drop for IntervalSampler<W> {
+    fn drop(&mut self) {
+        let _ = self.finish();
+    }
+}
+
+/// Build one heartbeat record from two cumulative snapshots.
+/// `cycle` is the last cycle index covered by the interval.
+fn heartbeat_record(prev: &CycleStats, cur: &CycleStats, cycle: u64) -> Value {
+    let d_cycles = cur.cycles - prev.cycles;
+    let d_slots = cur.slots - prev.slots;
+    let d_committed = cur.committed - prev.committed;
+    let d_useful = cur.useful - prev.useful;
+    let d_accesses = cur.accesses - prev.accesses;
+    let frac = |x: f64| if d_slots > 0 { x / d_slots as f64 } else { 0.0 };
+    let rate = |n: u64| {
+        if d_accesses > 0 {
+            n as f64 / d_accesses as f64
+        } else {
+            0.0
+        }
+    };
+
+    let mut wasted_slots = Vec::with_capacity(7);
+    let mut wasted_frac = Vec::with_capacity(7);
+    for (i, label) in HAZARD_LABELS.iter().enumerate() {
+        let d = cur.wasted[i] - prev.wasted[i];
+        wasted_slots.push((label.to_string(), Value::F64(d)));
+        wasted_frac.push((label.to_string(), Value::F64(frac(d))));
+    }
+
+    Value::Object(vec![
+        ("cycle".into(), Value::U64(cycle)),
+        ("cycles".into(), Value::U64(d_cycles)),
+        ("committed".into(), Value::U64(d_committed)),
+        (
+            "ipc".into(),
+            Value::F64(if d_cycles > 0 {
+                d_committed as f64 / d_cycles as f64
+            } else {
+                0.0
+            }),
+        ),
+        ("slots".into(), Value::U64(d_slots)),
+        ("useful_frac".into(), Value::F64(frac(d_useful))),
+        ("wasted_frac".into(), Value::Object(wasted_frac)),
+        ("useful_slots".into(), Value::F64(d_useful)),
+        ("wasted_slots".into(), Value::Object(wasted_slots)),
+        ("accesses".into(), Value::U64(d_accesses)),
+        (
+            "l1_miss_rate".into(),
+            Value::F64(rate(d_accesses - (cur.l1_hits - prev.l1_hits))),
+        ),
+        ("l2_hits".into(), Value::U64(cur.l2_hits - prev.l2_hits)),
+        (
+            "tlb_miss_rate".into(),
+            Value::F64(rate(cur.tlb_misses - prev.tlb_misses)),
+        ),
+        (
+            "running_threads".into(),
+            Value::U64(u64::from(cur.running_threads)),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A cumulative snapshot after `cycles` cycles of a 4-wide machine
+    /// that spends 50% useful, 25% data, 25% memory.
+    fn snap(cycles: u64) -> CycleStats {
+        let slots = cycles * 4;
+        let mut wasted = [0.0; 7];
+        wasted[2] = slots as f64 * 0.25; // memory
+        wasted[3] = slots as f64 * 0.25; // data
+        CycleStats {
+            useful: slots as f64 * 0.5,
+            wasted,
+            slots,
+            cycles,
+            committed: cycles * 2,
+            running_threads: 3,
+            accesses: cycles,
+            l1_hits: cycles / 2,
+            l2_hits: cycles / 4,
+            tlb_misses: 0,
+        }
+    }
+
+    fn run_sampler(interval: u64, total_cycles: u64) -> Vec<serde::Value> {
+        let mut buf = Vec::new();
+        {
+            let mut s = IntervalSampler::new(&mut buf, interval);
+            for c in 0..total_cycles {
+                let st = snap(c + 1);
+                s.cycle_end(c, Some(&st));
+            }
+            s.finish().unwrap();
+        }
+        String::from_utf8(buf)
+            .unwrap()
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn emits_one_record_per_full_interval() {
+        let recs = run_sampler(100, 300);
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0]["cycle"].as_u64(), Some(99));
+        assert_eq!(recs[2]["cycle"].as_u64(), Some(299));
+        for r in &recs {
+            assert_eq!(r["cycles"].as_u64(), Some(100));
+            assert_eq!(r["slots"].as_u64(), Some(400));
+        }
+    }
+
+    #[test]
+    fn trailing_partial_interval_is_flushed_by_finish() {
+        let recs = run_sampler(100, 250);
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[2]["cycle"].as_u64(), Some(249));
+        assert_eq!(recs[2]["cycles"].as_u64(), Some(50));
+    }
+
+    #[test]
+    fn fractions_sum_to_one_per_interval() {
+        for r in run_sampler(64, 200) {
+            let mut sum = r["useful_frac"].as_f64().unwrap();
+            for label in HAZARD_LABELS {
+                sum += r["wasted_frac"][label].as_f64().unwrap();
+            }
+            assert!((sum - 1.0).abs() < 1e-9, "fractions sum to {sum}");
+        }
+    }
+
+    #[test]
+    fn raw_slot_counts_telescope_to_final_totals() {
+        let recs = run_sampler(77, 500);
+        let useful: f64 = recs
+            .iter()
+            .map(|r| r["useful_slots"].as_f64().unwrap())
+            .sum();
+        let slots: u64 = recs.iter().map(|r| r["slots"].as_u64().unwrap()).sum();
+        let fin = snap(500);
+        assert!((useful - fin.useful).abs() < 1e-6);
+        assert_eq!(slots, fin.slots);
+    }
+
+    #[test]
+    fn ipc_and_miss_rates_are_interval_local() {
+        let recs = run_sampler(100, 100);
+        assert_eq!(recs.len(), 1);
+        let r = &recs[0];
+        assert!((r["ipc"].as_f64().unwrap() - 2.0).abs() < 1e-9);
+        assert!((r["l1_miss_rate"].as_f64().unwrap() - 0.5).abs() < 1e-9);
+        assert_eq!(r["running_threads"].as_u64(), Some(3));
+    }
+}

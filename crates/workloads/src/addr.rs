@@ -38,8 +38,16 @@ pub struct Layout {
 impl Layout {
     /// Layout for `thread`'s private slice on a machine of `n_nodes` nodes
     /// with `threads_per_node` software threads per node.
-    pub fn private_slice(thread: usize, n_nodes: usize, threads_per_node: usize, page: u64) -> Self {
-        let node = thread.checked_div(threads_per_node).unwrap_or(0).min(n_nodes - 1);
+    pub fn private_slice(
+        thread: usize,
+        n_nodes: usize,
+        threads_per_node: usize,
+        page: u64,
+    ) -> Self {
+        let node = thread
+            .checked_div(threads_per_node)
+            .unwrap_or(0)
+            .min(n_nodes - 1);
         Layout {
             // Spreading a slice across its node's pages dilates logical
             // offsets by n_nodes; space the bases accordingly so slices
@@ -54,7 +62,12 @@ impl Layout {
     /// Identity layout into the shared region (no node pinning: pages
     /// interleave, as genuinely shared data does).
     pub fn shared(offset: u64) -> Self {
-        Layout { base: SHARED_BASE + offset, node: 0, n_nodes: 1, page: 4096 }
+        Layout {
+            base: SHARED_BASE + offset,
+            node: 0,
+            n_nodes: 1,
+            page: 4096,
+        }
     }
 
     /// Physical address of logical offset `logical`.
@@ -124,19 +137,29 @@ impl AddrCursor {
     /// stream; they only wrap at the array boundary).
     pub fn resumed(mode: AddrMode, seed: u64, iters_before: u64) -> Self {
         let offset = match &mode {
-            AddrMode::Stride { stride, footprint, .. }
-            | AddrMode::NeighborMix { stride, footprint, .. } => {
-                (iters_before * stride) % (*footprint).max(*stride)
+            AddrMode::Stride {
+                stride, footprint, ..
             }
+            | AddrMode::NeighborMix {
+                stride, footprint, ..
+            } => (iters_before * stride) % (*footprint).max(*stride),
             AddrMode::Irregular { .. } => 0,
         };
-        AddrCursor { mode, offset, rng: SplitMix64::new(seed.wrapping_add(iters_before)) }
+        AddrCursor {
+            mode,
+            offset,
+            rng: SplitMix64::new(seed.wrapping_add(iters_before)),
+        }
     }
 
     /// Address for the next iteration.
     pub fn next_addr(&mut self) -> u64 {
         match &self.mode {
-            AddrMode::Stride { layout, stride, footprint } => {
+            AddrMode::Stride {
+                layout,
+                stride,
+                footprint,
+            } => {
                 let a = layout.addr(self.offset);
                 self.offset = (self.offset + stride) % (*footprint).max(*stride);
                 a
@@ -145,7 +168,13 @@ impl AddrCursor {
                 let slots = (footprint / 8).max(1);
                 layout.addr(self.rng.below(slots) * 8)
             }
-            AddrMode::NeighborMix { own, neighbor, stride, footprint, neighbor_frac } => {
+            AddrMode::NeighborMix {
+                own,
+                neighbor,
+                stride,
+                footprint,
+                neighbor_frac,
+            } => {
                 let use_neighbor = self.rng.chance(*neighbor_frac);
                 let l = if use_neighbor { neighbor } else { own };
                 let a = l.addr(self.offset);
@@ -162,7 +191,12 @@ mod tests {
 
     #[test]
     fn single_node_layout_is_identity_plus_base() {
-        let l = Layout { base: 0x1000, node: 0, n_nodes: 1, page: 4096 };
+        let l = Layout {
+            base: 0x1000,
+            node: 0,
+            n_nodes: 1,
+            page: 4096,
+        };
         assert_eq!(l.addr(0), 0x1000);
         assert_eq!(l.addr(12345), 0x1000 + 12345);
     }
@@ -172,7 +206,12 @@ mod tests {
         // 4 nodes: home(page) = page % 4 under the directory's round-robin.
         let page = 4096u64;
         for node in 0..4u64 {
-            let l = Layout { base: 0, node, n_nodes: 4, page };
+            let l = Layout {
+                base: 0,
+                node,
+                n_nodes: 4,
+                page,
+            };
             for logical in [0u64, 8, 4095, 4096, 8192, 100_000] {
                 let phys = l.addr(logical);
                 assert_eq!((phys / page) % 4, node, "logical {logical} node {node}");
@@ -182,7 +221,12 @@ mod tests {
 
     #[test]
     fn node_local_layout_is_injective_within_slice() {
-        let l = Layout { base: 0, node: 2, n_nodes: 4, page: 4096 };
+        let l = Layout {
+            base: 0,
+            node: 2,
+            n_nodes: 4,
+            page: 4096,
+        };
         let a = l.addr(4000);
         let b = l.addr(4100); // next logical page
         assert_ne!(a, b);
@@ -212,7 +256,11 @@ mod tests {
     fn stride_cursor_wraps_at_footprint() {
         let layout = Layout::shared(0);
         let mut c = AddrCursor::new(
-            AddrMode::Stride { layout, stride: 64, footprint: 256 },
+            AddrMode::Stride {
+                layout,
+                stride: 64,
+                footprint: 256,
+            },
             1,
         );
         let addrs: Vec<u64> = (0..6).map(|_| c.next_addr() - SHARED_BASE).collect();
@@ -222,7 +270,13 @@ mod tests {
     #[test]
     fn irregular_cursor_stays_in_footprint_and_is_aligned() {
         let layout = Layout::shared(0);
-        let mut c = AddrCursor::new(AddrMode::Irregular { layout, footprint: 4096 }, 3);
+        let mut c = AddrCursor::new(
+            AddrMode::Irregular {
+                layout,
+                footprint: 4096,
+            },
+            3,
+        );
         for _ in 0..500 {
             let a = c.next_addr() - SHARED_BASE;
             assert!(a < 4096);
@@ -235,7 +289,13 @@ mod tests {
         let own = Layout::private_slice(0, 1, 8, 4096);
         let neighbor = Layout::private_slice(1, 1, 8, 4096);
         let mut c = AddrCursor::new(
-            AddrMode::NeighborMix { own, neighbor, stride: 8, footprint: 1 << 16, neighbor_frac: 0.3 },
+            AddrMode::NeighborMix {
+                own,
+                neighbor,
+                stride: 8,
+                footprint: 1 << 16,
+                neighbor_frac: 0.3,
+            },
             5,
         );
         let mut own_n = 0;
@@ -255,7 +315,10 @@ mod tests {
     fn cursors_are_deterministic() {
         let mk = || {
             AddrCursor::new(
-                AddrMode::Irregular { layout: Layout::shared(64), footprint: 65536 },
+                AddrMode::Irregular {
+                    layout: Layout::shared(64),
+                    footprint: 65536,
+                },
                 9,
             )
         };

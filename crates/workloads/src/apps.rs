@@ -40,7 +40,12 @@ impl AppParams {
     /// Convenience constructor.
     pub fn new(n_threads: usize, n_chips: usize, scale: f64, seed: u64) -> Self {
         assert!(n_threads >= 1 && n_chips >= 1 && scale > 0.0);
-        AppParams { n_threads, n_chips, scale, seed }
+        AppParams {
+            n_threads,
+            n_chips,
+            scale,
+            seed,
+        }
     }
 }
 
@@ -186,7 +191,10 @@ fn cursors_for(
             let array_off = k as u64 * ((1 << 22) + (1 << 12) + 3 * 64);
             let mode = match style {
                 MemStyle::PrivateStride { stride, footprint } => AddrMode::Stride {
-                    layout: Layout { base: own.base + array_off, ..own },
+                    layout: Layout {
+                        base: own.base + array_off,
+                        ..own
+                    },
                     stride,
                     footprint: slice(footprint),
                 },
@@ -194,15 +202,23 @@ fn cursors_for(
                     layout: Layout::shared(array_off),
                     footprint,
                 },
-                MemStyle::NeighborStride { stride, footprint, neighbor_frac } => {
-                    AddrMode::NeighborMix {
-                        own: Layout { base: own.base + array_off, ..own },
-                        neighbor: Layout { base: neighbor.base + array_off, ..neighbor },
-                        stride,
-                        footprint: slice(footprint),
-                        neighbor_frac,
-                    }
-                }
+                MemStyle::NeighborStride {
+                    stride,
+                    footprint,
+                    neighbor_frac,
+                } => AddrMode::NeighborMix {
+                    own: Layout {
+                        base: own.base + array_off,
+                        ..own
+                    },
+                    neighbor: Layout {
+                        base: neighbor.base + array_off,
+                        ..neighbor
+                    },
+                    stride,
+                    footprint: slice(footprint),
+                    neighbor_frac,
+                },
             };
             AddrCursor::resumed(mode, seed ^ (k as u64) << 32, iters_before)
         })
@@ -226,7 +242,10 @@ pub fn build_streams(app: &AppSpec, params: &AppParams) -> Vec<Box<dyn InstStrea
             if app.serial_iters > 0 {
                 if t == 0 {
                     let iters = scaled(app.serial_iters, params.scale);
-                    let serial_style = [MemStyle::PrivateStride { stride: 8, footprint: 1 << 19 }];
+                    let serial_style = [MemStyle::PrivateStride {
+                        stride: 8,
+                        footprint: 1 << 19,
+                    }];
                     let loads = cursors_for(
                         &serial_style,
                         app.serial_kernel.loads as usize,
@@ -315,17 +334,34 @@ pub fn swim() -> AppSpec {
         // branches that real codes have and perfect loop prediction hides.
         noise_branch: 0.05,
     };
-    let dense = MemStyle::PrivateStride { stride: 8, footprint: 1 << 21 };
+    let dense = MemStyle::PrivateStride {
+        stride: 8,
+        footprint: 1 << 21,
+    };
     AppSpec {
         name: "swim",
         steps: 5,
         serial_iters: 250,
-        serial_kernel: KernelSpec { chains: 1, depth: 8, mix: OpMix::Float, loads: 2, stores: 1, carried: true, noise_branch: 0.02 },
+        serial_kernel: KernelSpec {
+            chains: 1,
+            depth: 8,
+            mix: OpMix::Float,
+            loads: 2,
+            stores: 1,
+            carried: true,
+            noise_branch: 0.02,
+        },
         loops: vec![
             LoopDef {
                 total_iters: 1200,
                 kernel: stencil,
-                load_styles: vec![dense, MemStyle::PrivateStride { stride: 16, footprint: 1 << 21 }],
+                load_styles: vec![
+                    dense,
+                    MemStyle::PrivateStride {
+                        stride: 16,
+                        footprint: 1 << 21,
+                    },
+                ],
                 store_style: dense,
                 imbalance: 0.45,
                 use_locks: false,
@@ -355,12 +391,23 @@ pub fn tomcatv() -> AppSpec {
         carried: true,
         noise_branch: 0.04,
     };
-    let dense = MemStyle::PrivateStride { stride: 8, footprint: 1 << 20 };
+    let dense = MemStyle::PrivateStride {
+        stride: 8,
+        footprint: 1 << 20,
+    };
     AppSpec {
         name: "tomcatv",
         steps: 5,
         serial_iters: 520,
-        serial_kernel: KernelSpec { chains: 1, depth: 8, mix: OpMix::Float, loads: 2, stores: 1, carried: true, noise_branch: 0.02 },
+        serial_kernel: KernelSpec {
+            chains: 1,
+            depth: 8,
+            mix: OpMix::Float,
+            loads: 2,
+            stores: 1,
+            carried: true,
+            noise_branch: 0.02,
+        },
         loops: vec![LoopDef {
             total_iters: 1300,
             kernel: body,
@@ -390,12 +437,23 @@ pub fn mgrid() -> AppSpec {
         noise_branch: 0.04,
     };
     let coarse = KernelSpec { depth: 3, ..relax };
-    let dense = MemStyle::PrivateStride { stride: 8, footprint: 1 << 21 };
+    let dense = MemStyle::PrivateStride {
+        stride: 8,
+        footprint: 1 << 21,
+    };
     AppSpec {
         name: "mgrid",
         steps: 4,
         serial_iters: 180,
-        serial_kernel: KernelSpec { chains: 1, depth: 8, mix: OpMix::Float, loads: 2, stores: 1, carried: true, noise_branch: 0.02 },
+        serial_kernel: KernelSpec {
+            chains: 1,
+            depth: 8,
+            mix: OpMix::Float,
+            loads: 2,
+            stores: 1,
+            carried: true,
+            noise_branch: 0.02,
+        },
         loops: vec![
             LoopDef {
                 total_iters: 1100,
@@ -408,16 +466,28 @@ pub fn mgrid() -> AppSpec {
             LoopDef {
                 total_iters: 300,
                 kernel: coarse,
-                load_styles: vec![MemStyle::PrivateStride { stride: 8, footprint: 1 << 19 }],
-                store_style: MemStyle::PrivateStride { stride: 8, footprint: 1 << 19 },
+                load_styles: vec![MemStyle::PrivateStride {
+                    stride: 8,
+                    footprint: 1 << 19,
+                }],
+                store_style: MemStyle::PrivateStride {
+                    stride: 8,
+                    footprint: 1 << 19,
+                },
                 imbalance: 0.0,
                 use_locks: false,
             },
             LoopDef {
                 total_iters: 120,
                 kernel: coarse,
-                load_styles: vec![MemStyle::PrivateStride { stride: 8, footprint: 1 << 17 }],
-                store_style: MemStyle::PrivateStride { stride: 8, footprint: 1 << 17 },
+                load_styles: vec![MemStyle::PrivateStride {
+                    stride: 8,
+                    footprint: 1 << 17,
+                }],
+                store_style: MemStyle::PrivateStride {
+                    stride: 8,
+                    footprint: 1 << 17,
+                },
                 imbalance: 0.0,
                 use_locks: false,
             },
@@ -439,12 +509,23 @@ pub fn vpenta() -> AppSpec {
         carried: true,
         noise_branch: 0.02,
     };
-    let dense = MemStyle::PrivateStride { stride: 8, footprint: 1 << 21 };
+    let dense = MemStyle::PrivateStride {
+        stride: 8,
+        footprint: 1 << 21,
+    };
     AppSpec {
         name: "vpenta",
         steps: 4,
         serial_iters: 60,
-        serial_kernel: KernelSpec { chains: 1, depth: 8, mix: OpMix::Float, loads: 2, stores: 1, carried: true, noise_branch: 0.02 },
+        serial_kernel: KernelSpec {
+            chains: 1,
+            depth: 8,
+            mix: OpMix::Float,
+            loads: 2,
+            stores: 1,
+            carried: true,
+            noise_branch: 0.02,
+        },
         loops: vec![
             LoopDef {
                 total_iters: 1500,
@@ -484,29 +565,57 @@ pub fn fmm() -> AppSpec {
         name: "fmm",
         steps: 4,
         serial_iters: 260,
-        serial_kernel: KernelSpec { chains: 1, depth: 8, mix: OpMix::Mixed, loads: 2, stores: 1, carried: true, noise_branch: 0.03 },
+        serial_kernel: KernelSpec {
+            chains: 1,
+            depth: 8,
+            mix: OpMix::Mixed,
+            loads: 2,
+            stores: 1,
+            carried: true,
+            noise_branch: 0.03,
+        },
         loops: vec![
             LoopDef {
                 total_iters: 900,
                 kernel: force,
                 load_styles: vec![
                     MemStyle::SharedIrregular { footprint: 1 << 15 },
-                    MemStyle::PrivateStride { stride: 8, footprint: 1 << 19 },
+                    MemStyle::PrivateStride {
+                        stride: 8,
+                        footprint: 1 << 19,
+                    },
                 ],
-                store_style: MemStyle::PrivateStride { stride: 16, footprint: 1 << 19 },
+                store_style: MemStyle::PrivateStride {
+                    stride: 16,
+                    footprint: 1 << 19,
+                },
                 imbalance: 0.5,
                 use_locks: true,
             },
             LoopDef {
                 total_iters: 500,
-                kernel: KernelSpec { chains: 4, noise_branch: 0.04, ..force },
-                load_styles: vec![MemStyle::PrivateStride { stride: 8, footprint: 1 << 20 }],
-                store_style: MemStyle::PrivateStride { stride: 8, footprint: 1 << 20 },
+                kernel: KernelSpec {
+                    chains: 4,
+                    noise_branch: 0.04,
+                    ..force
+                },
+                load_styles: vec![MemStyle::PrivateStride {
+                    stride: 8,
+                    footprint: 1 << 20,
+                }],
+                store_style: MemStyle::PrivateStride {
+                    stride: 8,
+                    footprint: 1 << 20,
+                },
                 imbalance: 0.4,
                 use_locks: false,
             },
         ],
-        lock: Some(LockUse { n_locks: 16, frac: 0.04, body_ops: 4 }),
+        lock: Some(LockUse {
+            n_locks: 16,
+            frac: 0.04,
+            body_ops: 4,
+        }),
     }
 }
 
@@ -527,17 +636,38 @@ pub fn ocean() -> AppSpec {
         name: "ocean",
         steps: 5,
         serial_iters: 80,
-        serial_kernel: KernelSpec { chains: 1, depth: 8, mix: OpMix::Float, loads: 2, stores: 1, carried: true, noise_branch: 0.02 },
+        serial_kernel: KernelSpec {
+            chains: 1,
+            depth: 8,
+            mix: OpMix::Float,
+            loads: 2,
+            stores: 1,
+            carried: true,
+            noise_branch: 0.02,
+        },
         loops: vec![
             LoopDef {
                 total_iters: 1400,
                 kernel: relax,
                 load_styles: vec![
-                    MemStyle::NeighborStride { stride: 8, footprint: 1 << 21, neighbor_frac: 0.10 },
-                    MemStyle::PrivateStride { stride: 8, footprint: 1 << 21 },
-                    MemStyle::PrivateStride { stride: 16, footprint: 1 << 21 },
+                    MemStyle::NeighborStride {
+                        stride: 8,
+                        footprint: 1 << 21,
+                        neighbor_frac: 0.10,
+                    },
+                    MemStyle::PrivateStride {
+                        stride: 8,
+                        footprint: 1 << 21,
+                    },
+                    MemStyle::PrivateStride {
+                        stride: 16,
+                        footprint: 1 << 21,
+                    },
                 ],
-                store_style: MemStyle::PrivateStride { stride: 8, footprint: 1 << 21 },
+                store_style: MemStyle::PrivateStride {
+                    stride: 8,
+                    footprint: 1 << 21,
+                },
                 imbalance: 0.0,
                 use_locks: false,
             },
@@ -545,10 +675,21 @@ pub fn ocean() -> AppSpec {
                 total_iters: 1100,
                 kernel: relax,
                 load_styles: vec![
-                    MemStyle::NeighborStride { stride: 8, footprint: 1 << 20, neighbor_frac: 0.08 },
-                    MemStyle::PrivateStride { stride: 8, footprint: 1 << 20 },
+                    MemStyle::NeighborStride {
+                        stride: 8,
+                        footprint: 1 << 20,
+                        neighbor_frac: 0.08,
+                    },
+                    MemStyle::PrivateStride {
+                        stride: 8,
+                        footprint: 1 << 20,
+                    },
                 ],
-                store_style: MemStyle::NeighborStride { stride: 8, footprint: 1 << 20, neighbor_frac: 0.05 },
+                store_style: MemStyle::NeighborStride {
+                    stride: 8,
+                    footprint: 1 << 20,
+                    neighbor_frac: 0.05,
+                },
                 imbalance: 0.0,
                 use_locks: false,
             },
@@ -574,7 +715,10 @@ mod tests {
     #[test]
     fn registry_has_the_papers_six_apps() {
         let names: Vec<&str> = all_apps().iter().map(|a| a.name).collect();
-        assert_eq!(names, vec!["swim", "tomcatv", "mgrid", "vpenta", "fmm", "ocean"]);
+        assert_eq!(
+            names,
+            vec!["swim", "tomcatv", "mgrid", "vpenta", "fmm", "ocean"]
+        );
         assert!(by_name("ocean").is_some());
         assert!(by_name("gcc").is_none());
     }
@@ -629,7 +773,10 @@ mod tests {
         let hint = streams[0].len_hint().expect("hint");
         let approx = app.approx_insts(0.05);
         let ratio = hint as f64 / approx as f64;
-        assert!((0.7..1.4).contains(&ratio), "hint {hint} vs approx {approx}");
+        assert!(
+            (0.7..1.4).contains(&ratio),
+            "hint {hint} vs approx {approx}"
+        );
     }
 
     #[test]

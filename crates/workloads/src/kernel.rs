@@ -21,11 +21,21 @@ use csmt_isa::{ArchReg, DynInst, OpClass, SplitMix64};
 /// Registers reserved for kernel plumbing (outside `RegAlloc`'s temp pools).
 const INDUCTION: ArchReg = ArchReg::Int(7);
 /// Load destination registers.
-const SEEDS: [ArchReg; 4] = [ArchReg::Fp(0), ArchReg::Fp(1), ArchReg::Fp(30), ArchReg::Fp(31)];
+const SEEDS: [ArchReg; 4] = [
+    ArchReg::Fp(0),
+    ArchReg::Fp(1),
+    ArchReg::Fp(30),
+    ArchReg::Fp(31),
+];
 /// Loop-carried chain registers — disjoint from load destinations and from
 /// `RegAlloc`'s temporary pools, so the recurrence is a true cross-iteration
 /// RAW dependence.
-const CARRIES: [ArchReg; 4] = [ArchReg::Fp(26), ArchReg::Fp(27), ArchReg::Fp(28), ArchReg::Fp(29)];
+const CARRIES: [ArchReg; 4] = [
+    ArchReg::Fp(26),
+    ArchReg::Fp(27),
+    ArchReg::Fp(28),
+    ArchReg::Fp(29),
+];
 
 /// Static description of one loop body.
 #[derive(Debug, Clone, Copy)]
@@ -128,25 +138,44 @@ impl KernelInstance {
         // Loads into seed registers (addresses patched per iteration).
         for &seed_reg in SEEDS.iter().take(spec.loads as usize) {
             load_slots.push(template.len());
-            template.push(DynInst::load(next_pc(), seed_reg, 0, [Some(INDUCTION), None]));
+            template.push(DynInst::load(
+                next_pc(),
+                seed_reg,
+                0,
+                [Some(INDUCTION), None],
+            ));
         }
         // Chains: seeds are the loaded values, or the carry registers for
         // loop-carried recurrences.
         let mut ra = RegAlloc::new();
         let seeds: Vec<ArchReg> = if spec.carried {
-            (0..spec.chains as usize).map(|c| CARRIES[c % CARRIES.len()]).collect()
+            (0..spec.chains as usize)
+                .map(|c| CARRIES[c % CARRIES.len()])
+                .collect()
         } else if spec.loads > 0 {
-            (0..spec.chains as usize).map(|c| SEEDS[c % spec.loads as usize]).collect()
+            (0..spec.chains as usize)
+                .map(|c| SEEDS[c % spec.loads as usize])
+                .collect()
         } else {
-            (0..spec.chains as usize).map(|c| SEEDS[c % SEEDS.len()]).collect()
+            (0..spec.chains as usize)
+                .map(|c| SEEDS[c % SEEDS.len()])
+                .collect()
         };
-        let chain_spec = ChainSpec { chains: spec.chains, depth: spec.depth, mix: spec.mix };
+        let chain_spec = ChainSpec {
+            chains: spec.chains,
+            depth: spec.depth,
+            mix: spec.mix,
+        };
         // Inline emit (mirrors BlockBuilder::emit_compute but with our PCs).
         let mut heads = seeds.clone();
         for k in 0..spec.depth {
             for head in heads.iter_mut() {
                 let op = chain_spec.mix_op(k);
-                let dest = if op.fu_kind() == Some(csmt_isa::FuKind::Fp) { ra.fp() } else { ra.int() };
+                let dest = if op.fu_kind() == Some(csmt_isa::FuKind::Fp) {
+                    ra.fp()
+                } else {
+                    ra.int()
+                };
                 template.push(DynInst::alu(next_pc(), op, Some(dest), [Some(*head), None]));
                 *head = dest;
             }
@@ -169,23 +198,43 @@ impl KernelInstance {
             template.push(DynInst::store(next_pc(), 0, [Some(val), Some(INDUCTION)]));
         }
         // Induction update.
-        template.push(DynInst::alu(next_pc(), OpClass::IntAlu, Some(INDUCTION), [Some(INDUCTION), None]));
+        template.push(DynInst::alu(
+            next_pc(),
+            OpClass::IntAlu,
+            Some(INDUCTION),
+            [Some(INDUCTION), None],
+        ));
         // Optional noise branch (outcome patched; always present in the
         // template when the spec can use it, so PCs stay stable).
         let noise_branch = if spec.noise_branch > 0.0 {
             let slot = template.len();
-            template.push(DynInst::branch(next_pc(), false, base_pc, [Some(INDUCTION), None]));
+            template.push(DynInst::branch(
+                next_pc(),
+                false,
+                base_pc,
+                [Some(INDUCTION), None],
+            ));
             Some(slot)
         } else {
             None
         };
         // Backward loop branch.
         let back_branch = template.len();
-        template.push(DynInst::branch(next_pc(), true, base_pc, [Some(INDUCTION), None]));
+        template.push(DynInst::branch(
+            next_pc(),
+            true,
+            base_pc,
+            [Some(INDUCTION), None],
+        ));
 
         KernelInstance {
             template,
-            patch: Patch { load_slots, store_slots, back_branch, noise_branch },
+            patch: Patch {
+                load_slots,
+                store_slots,
+                back_branch,
+                noise_branch,
+            },
             load_cursors,
             store_cursors,
             iters,
@@ -231,7 +280,11 @@ impl KernelInstance {
         }
         self.done += 1;
         let last = self.done >= self.iters;
-        out[start + self.patch.back_branch].branch.as_mut().expect("branch").taken = !last;
+        out[start + self.patch.back_branch]
+            .branch
+            .as_mut()
+            .expect("branch")
+            .taken = !last;
         true
     }
 
@@ -342,7 +395,14 @@ mod tests {
         k.emit_iter(&mut a);
         let mut b = Vec::new();
         k.emit_iter(&mut b);
-        let first_load = |v: &[DynInst]| v.iter().find(|i| i.op == OpClass::Load).unwrap().mem.unwrap().addr;
+        let first_load = |v: &[DynInst]| {
+            v.iter()
+                .find(|i| i.op == OpClass::Load)
+                .unwrap()
+                .mem
+                .unwrap()
+                .addr
+        };
         assert_eq!(first_load(&b), first_load(&a) + 64);
     }
 
@@ -408,7 +468,11 @@ mod tests {
     fn lock_roll_respects_frequency() {
         let mut s = spec();
         s.noise_branch = 0.0;
-        let lock = LockUse { n_locks: 4, frac: 0.25, body_ops: 3 };
+        let lock = LockUse {
+            n_locks: 4,
+            frac: 0.25,
+            body_ops: 3,
+        };
         let mut k = KernelInstance::new(s, 0, 1, cursors(2), cursors(1), 9, Some(lock));
         let mut hits = 0;
         for _ in 0..1000 {

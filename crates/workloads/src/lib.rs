@@ -39,6 +39,8 @@ pub mod runner;
 pub mod tls;
 
 pub use apps::{all_apps, build_streams, by_name, AppParams, AppSpec};
-pub use multiprogram::{multiprogram_streams, simulate_job_batches, simulate_multiprogram, BatchResult};
-pub use runner::simulate;
+pub use multiprogram::{
+    multiprogram_streams, simulate_job_batches, simulate_multiprogram, BatchResult,
+};
+pub use runner::{simulate, simulate_probed, simulate_with_chip, simulate_with_mem};
 pub use tls::{simulate_tls, tls_streams, TlsLoop, TlsResult};

@@ -133,7 +133,12 @@ pub fn simulate_job_batches(
         batches += 1;
         job += batch_jobs;
     }
-    BatchResult { total_cycles, committed, jobs: n_jobs, batches }
+    BatchResult {
+        total_cycles,
+        committed,
+        jobs: n_jobs,
+        batches,
+    }
 }
 
 #[cfg(test)]
@@ -189,7 +194,12 @@ mod tests {
         let r2 = simulate_job_batches(&mix, 8, ArchKind::Smt2.chip(), 1, 0.02, 7);
         assert_eq!(r2.batches, 1);
         let ratio = r.committed as f64 / r2.committed as f64;
-        assert!((0.99..1.01).contains(&ratio), "same work: {} vs {}", r.committed, r2.committed);
+        assert!(
+            (0.99..1.01).contains(&ratio),
+            "same work: {} vs {}",
+            r.committed,
+            r2.committed
+        );
     }
 
     #[test]

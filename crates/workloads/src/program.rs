@@ -39,7 +39,13 @@ impl ProgramStream {
                 Phase::Sync(_) => 1,
             })
             .sum();
-        ProgramStream { phases, idx: 0, buf: Vec::with_capacity(64), pos: 0, len_hint }
+        ProgramStream {
+            phases,
+            idx: 0,
+            buf: Vec::with_capacity(64),
+            pos: 0,
+            len_hint,
+        }
     }
 }
 
@@ -64,7 +70,8 @@ impl InstStream for ProgramStream {
                     // Optional critical section around this iteration (fmm).
                     if let Some(lock_id) = k.roll_lock() {
                         let body = k.lock.expect("roll_lock implies lock").body_ops;
-                        self.buf.push(DynInst::sync(LOCK_BODY_PC, SyncOp::LockAcquire(lock_id)));
+                        self.buf
+                            .push(DynInst::sync(LOCK_BODY_PC, SyncOp::LockAcquire(lock_id)));
                         for b in 0..body {
                             self.buf.push(DynInst::alu(
                                 LOCK_BODY_PC + 4 + b as u64 * 4,
@@ -110,7 +117,11 @@ mod tests {
             noise_branch: 0.0,
         };
         let cursors = vec![AddrCursor::new(
-            AddrMode::Stride { layout: Layout::shared(0), stride: 8, footprint: 4096 },
+            AddrMode::Stride {
+                layout: Layout::shared(0),
+                stride: 8,
+                footprint: 4096,
+            },
             1,
         )];
         KernelInstance::new(spec, 0x100, iters, cursors, vec![], 5, lock)
@@ -146,7 +157,11 @@ mod tests {
 
     #[test]
     fn lock_excursions_wrap_iterations_in_acquire_release_pairs() {
-        let lock = LockUse { n_locks: 2, frac: 1.0, body_ops: 2 };
+        let lock = LockUse {
+            n_locks: 2,
+            frac: 1.0,
+            body_ops: 2,
+        };
         let mut s = ProgramStream::new(vec![Phase::Kernel(kernel(4, Some(lock)))]);
         let mut acquires = 0;
         let mut releases = 0;

@@ -41,11 +41,36 @@ pub fn simulate_with_chip(
     seed: u64,
     mem: MemConfig,
 ) -> RunResult {
+    simulate_probed(
+        app,
+        chip,
+        n_chips,
+        scale,
+        seed,
+        mem,
+        &mut csmt_trace::NullProbe,
+    )
+}
+
+/// [`simulate_with_chip`] with an observability probe attached to every
+/// cycle (heartbeat samplers, pipeline trace writers — see `csmt-trace`).
+/// With [`csmt_trace::NullProbe`] this is exactly `simulate_with_chip`.
+/// Probes with buffered output should have their `finish()` called after
+/// this returns.
+pub fn simulate_probed<P: csmt_trace::Probe>(
+    app: &AppSpec,
+    chip: csmt_core::ChipConfig,
+    n_chips: usize,
+    scale: f64,
+    seed: u64,
+    mem: MemConfig,
+    probe: &mut P,
+) -> RunResult {
     let mut machine = Machine::new(chip, n_chips, mem, seed);
     let n_threads = machine.hw_thread_capacity();
     let params = AppParams::new(n_threads, n_chips, scale, seed);
     machine.attach_threads(build_streams(app, &params));
-    machine.run(MAX_CYCLES)
+    machine.run_probed(MAX_CYCLES, probe)
 }
 
 #[cfg(test)]
@@ -72,7 +97,10 @@ mod tests {
         let r = simulate(&app, ArchKind::Smt2, 4, SCALE, 42);
         assert_eq!(r.chips, 4);
         assert_eq!(r.threads, 32);
-        assert!(r.mem.remote_mem + r.mem.remote_l2 > 0, "NUMA traffic expected");
+        assert!(
+            r.mem.remote_mem + r.mem.remote_l2 > 0,
+            "NUMA traffic expected"
+        );
     }
 
     #[test]

@@ -70,7 +70,7 @@ impl TlsLoop {
 
     /// Epochs that violate (deterministic per seed): epoch 0 never does.
     fn violations(&self, seed: u64) -> Vec<bool> {
-        let mut rng = SplitMix64::new(seed ^ 0x71_5);
+        let mut rng = SplitMix64::new(seed ^ 0x0715);
         (0..self.epochs)
             .map(|e| e > 0 && rng.chance(self.dep_frac))
             .collect()
@@ -82,11 +82,7 @@ const COMMIT_LOCK: u32 = 0xC0117;
 
 /// Build the speculative threads' instruction streams. With `n_threads ==
 /// 1` this is plain sequential execution: no violations, no commit token.
-pub fn tls_streams(
-    l: &TlsLoop,
-    n_threads: usize,
-    seed: u64,
-) -> Vec<Box<dyn InstStream + Send>> {
+pub fn tls_streams(l: &TlsLoop, n_threads: usize, seed: u64) -> Vec<Box<dyn InstStream + Send>> {
     assert!(n_threads >= 1);
     let violations = l.violations(seed);
     let speculative = n_threads > 1;
@@ -99,7 +95,11 @@ pub fn tls_streams(
                 // the replay. Both are full executions through the pipeline;
                 // only the replay's results survive architecturally, but the
                 // machine time of both is the TLS cost being measured.
-                let executions = if speculative && violations[epoch as usize] { 2 } else { 1 };
+                let executions = if speculative && violations[epoch as usize] {
+                    2
+                } else {
+                    1
+                };
                 for attempt in 0..executions {
                     let cursors = |n: usize, tag: u64| -> Vec<AddrCursor> {
                         (0..n)

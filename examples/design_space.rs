@@ -25,7 +25,10 @@ fn main() {
         ArchKind::Smt1,
     ];
 
-    println!("{} across the Table 2 design space (low-end machine):\n", app.name);
+    println!(
+        "{} across the Table 2 design space (low-end machine):\n",
+        app.name
+    );
     println!(
         "{:<6} {:>8} {:>7} {:>7} {:>9} {:>10}",
         "arch", "cycles", "IPC", "clock", "adj time", "adj (norm)"
@@ -34,7 +37,11 @@ fn main() {
     for arch in archs {
         let r = simulate(&app, arch, 1, scale, 42);
         // §5.2: 8-issue clusters pay a 2× cycle-time penalty.
-        let clock = if arch.chip().cluster.issue_width == 8 { 2.0 } else { 1.0 };
+        let clock = if arch.chip().cluster.issue_width == 8 {
+            2.0
+        } else {
+            1.0
+        };
         rows.push((arch, r.cycles, r.ipc(), clock, r.cycles as f64 * clock));
     }
     let base = rows[0].4;
@@ -49,7 +56,10 @@ fn main() {
             100.0 * adj / base
         );
     }
-    let best = rows.iter().min_by(|a, b| a.4.partial_cmp(&b.4).unwrap()).unwrap();
+    let best = rows
+        .iter()
+        .min_by(|a, b| a.4.partial_cmp(&b.4).unwrap())
+        .unwrap();
     println!(
         "\nMost cost-effective organization after the clock adjustment: {}",
         best.0.name()

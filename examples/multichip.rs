@@ -11,7 +11,10 @@ use csmt_core::{ArchKind, Machine};
 use csmt_workloads::build_streams;
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
     let app = by_name("ocean").expect("registered");
 
     let mut machine = Machine::new(ArchKind::Smt2.chip(), 4, MemConfig::table3(), 42);
@@ -24,7 +27,11 @@ fn main() {
     machine.attach_threads(build_streams(&app, &params));
     let r = machine.run(2_000_000_000);
 
-    println!("\nocean on SMT2 × 4 chips: {} cycles, chip-IPC {:.2}", r.cycles, r.ipc() / 4.0);
+    println!(
+        "\nocean on SMT2 × 4 chips: {} cycles, chip-IPC {:.2}",
+        r.cycles,
+        r.ipc() / 4.0
+    );
 
     println!("\nPer-node memory behaviour:");
     println!(

@@ -12,7 +12,10 @@ use csmt_core::ArchKind;
 use csmt_workloads::simulate_job_batches;
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.3);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.3);
     let mix: Vec<AppSpec> = ["swim", "vpenta", "tomcatv", "ocean"]
         .iter()
         .map(|n| by_name(n).expect("registered"))

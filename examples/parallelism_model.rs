@@ -16,7 +16,10 @@ fn main() {
     let ilp: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(5.0);
     let a = AppPoint::new(threads, ilp);
 
-    println!("Application A = ({threads} threads, {ilp} ILP), potential {:.0} IPC\n", a.potential());
+    println!(
+        "Application A = ({threads} threads, {ilp} ILP), potential {:.0} IPC\n",
+        a.potential()
+    );
 
     // ASCII chart: x = threads 0..8, y = ILP 0..8, SMT2 envelope + A.
     let smt2 = ArchModel::Smt { clusters: 2 };
@@ -53,7 +56,10 @@ fn main() {
         ArchModel::Smt { clusters: 2 },
         ArchModel::Smt { clusters: 1 },
     ];
-    println!("{:<6} {:>10} {:>12} {:>12}", "arch", "delivered", "utilization", "region");
+    println!(
+        "{:<6} {:>10} {:>12} {:>12}",
+        "arch", "delivered", "utilization", "region"
+    );
     for (m, d) in ranking(&archs, a) {
         let region = match m.region(a) {
             Region::AppExploited => "1: app maxed",

@@ -10,7 +10,9 @@ use clustered_smt::prelude::*;
 use csmt_core::ArchKind;
 
 fn parse_arch(name: &str) -> Option<ArchKind> {
-    ArchKind::ALL.into_iter().find(|a| a.name().eq_ignore_ascii_case(name))
+    ArchKind::ALL
+        .into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(name))
 }
 
 fn main() {
@@ -42,12 +44,28 @@ fn main() {
     println!("useful IPC          : {:.2}", r.ipc());
     println!("avg running threads : {:.2}", r.avg_running_threads);
     println!("ILP per thread      : {:.2}", r.ilp_per_thread());
-    println!("branch mispredicts  : {} ({:.2}%)", r.branch_mispredicts, r.mispredict_rate() * 100.0);
-    println!("barriers / locks    : {} / {}", r.barrier_episodes, r.lock_acquisitions);
+    println!(
+        "branch mispredicts  : {} ({:.2}%)",
+        r.branch_mispredicts,
+        r.mispredict_rate() * 100.0
+    );
+    println!(
+        "barriers / locks    : {} / {}",
+        r.barrier_episodes, r.lock_acquisitions
+    );
 
     println!("\nIssue-slot breakdown (paper §4.1):");
     let b = r.breakdown();
-    let labels = ["useful", "other", "structural", "memory", "data", "control", "sync", "fetch"];
+    let labels = [
+        "useful",
+        "other",
+        "structural",
+        "memory",
+        "data",
+        "control",
+        "sync",
+        "fetch",
+    ];
     for (label, frac) in labels.iter().zip(b) {
         let bar = "#".repeat((frac * 60.0).round() as usize);
         println!("  {label:<10} {:>5.1}% {bar}", frac * 100.0);

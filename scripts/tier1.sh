@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything that must be green before merging.
+# Run from anywhere; operates on the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test (root package: tier-1)"
+cargo test -q
+
+echo "==> cargo test --workspace"
+cargo test -q --workspace
+
+echo "tier1: all green"

@@ -18,6 +18,7 @@
 //! | [`core`] | chips, machines, runtime, experiment results |
 //! | [`workloads`] | swim, tomcatv, mgrid, vpenta, fmm, ocean |
 //! | [`model`] | the §2 analytic model of thread/instruction parallelism |
+//! | [`trace`] | observability: pipeline probes, heartbeats, O3PipeView |
 //!
 //! ## Quickstart
 //!
@@ -39,6 +40,7 @@ pub use csmt_cpu as cpu;
 pub use csmt_isa as isa;
 pub use csmt_mem as mem;
 pub use csmt_model as model;
+pub use csmt_trace as trace;
 pub use csmt_workloads as workloads;
 
 /// The most common imports for driving experiments.
@@ -48,8 +50,9 @@ pub mod prelude {
     pub use csmt_isa::{DynInst, InstStream, OpClass, SyncOp};
     pub use csmt_mem::{MemConfig, MemorySystem};
     pub use csmt_model::{AppPoint, ArchModel, Region};
+    pub use csmt_trace::{IntervalSampler, NullProbe, PipeviewProbe, Probe, StatsRegistry};
     pub use csmt_workloads::{
-        all_apps, by_name, simulate, simulate_job_batches, simulate_multiprogram, simulate_tls,
-        AppParams, AppSpec, TlsLoop,
+        all_apps, by_name, simulate, simulate_job_batches, simulate_multiprogram, simulate_probed,
+        simulate_tls, AppParams, AppSpec, TlsLoop,
     };
 }

@@ -9,7 +9,12 @@ use csmt_isa::stream::VecStream;
 use csmt_isa::ArchReg;
 
 fn alu(pc: u64) -> DynInst {
-    DynInst::alu(pc, OpClass::IntAlu, Some(ArchReg::Int(1)), [Some(ArchReg::Int(1)), None])
+    DynInst::alu(
+        pc,
+        OpClass::IntAlu,
+        Some(ArchReg::Int(1)),
+        [Some(ArchReg::Int(1)), None],
+    )
 }
 
 fn thread_with_lock(work: u64, lock_id: u32, addr: u64) -> Box<dyn InstStream + Send> {
@@ -29,7 +34,11 @@ fn thread_with_lock(work: u64, lock_id: u32, addr: u64) -> Box<dyn InstStream + 
 fn contended_lock_serializes_critical_sections() {
     let mut m = Machine::new(ArchKind::Smt2.chip(), 1, MemConfig::table3(), 1);
     // All 8 threads contend for one lock around one shared address.
-    m.attach_threads((0..8).map(|t| thread_with_lock(5 + t, 7, 0xBEEF00)).collect());
+    m.attach_threads(
+        (0..8)
+            .map(|t| thread_with_lock(5 + t, 7, 0xBEEF00))
+            .collect(),
+    );
     let r = m.run(10_000_000);
     assert_eq!(r.lock_acquisitions, 8, "every thread acquired exactly once");
     assert_eq!(r.barrier_episodes, 1);
@@ -43,12 +52,20 @@ fn uncontended_locks_are_cheap() {
     // substantially faster than the contended version.
     let contended = {
         let mut m = Machine::new(ArchKind::Smt2.chip(), 1, MemConfig::table3(), 1);
-        m.attach_threads((0..8).map(|t| thread_with_lock(200, 7, 0xBEEF00 + t * 64)).collect());
+        m.attach_threads(
+            (0..8)
+                .map(|t| thread_with_lock(200, 7, 0xBEEF00 + t * 64))
+                .collect(),
+        );
         m.run(10_000_000).cycles
     };
     let private = {
         let mut m = Machine::new(ArchKind::Smt2.chip(), 1, MemConfig::table3(), 1);
-        m.attach_threads((0..8).map(|t| thread_with_lock(200, t as u32, 0xBEEF00 + t * 64)).collect());
+        m.attach_threads(
+            (0..8)
+                .map(|t| thread_with_lock(200, t as u32, 0xBEEF00 + t * 64))
+                .collect(),
+        );
         m.run(10_000_000).cycles
     };
     assert!(
@@ -72,7 +89,12 @@ fn cross_chip_sharing_costs_coherence_traffic() {
             for i in 0..ROUNDS {
                 v.push(DynInst::store(i * 12, own, [Some(ArchReg::Int(2)), None]));
                 v.push(DynInst::sync(i * 12 + 4, SyncOp::Barrier(i as u32)));
-                v.push(DynInst::load(i * 12 + 8, ArchReg::Int(2), other, [None, None]));
+                v.push(DynInst::load(
+                    i * 12 + 8,
+                    ArchReg::Int(2),
+                    other,
+                    [None, None],
+                ));
             }
             Box::new(VecStream::new(v))
         };
@@ -124,7 +146,9 @@ fn custom_architecture_outside_table2() {
     m.attach_threads(
         (0..4)
             .map(|t| -> Box<dyn InstStream + Send> {
-                Box::new(VecStream::new((0..300).map(|i| alu(t * 0x1000 + i * 4)).collect()))
+                Box::new(VecStream::new(
+                    (0..300).map(|i| alu(t * 0x1000 + i * 4)).collect(),
+                ))
             })
             .collect(),
     );

@@ -16,7 +16,9 @@ fn icount_never_catastrophically_loses_to_round_robin() {
         let app = by_name(app).unwrap();
         let rr = simulate_with_chip(
             &app,
-            ArchKind::Smt2.chip().with_fetch_policy(FetchPolicy::RoundRobin),
+            ArchKind::Smt2
+                .chip()
+                .with_fetch_policy(FetchPolicy::RoundRobin),
             1,
             SCALE,
             7,
@@ -37,24 +39,22 @@ fn icount_never_catastrophically_loses_to_round_robin() {
             ic.cycles,
             rr.cycles
         );
-        assert_eq!(ic.slots.committed, rr.slots.committed, "same work either way");
+        assert_eq!(
+            ic.slots.committed, rr.slots.committed,
+            "same work either way"
+        );
     }
 }
 
 #[test]
 fn static_taken_prediction_costs_cycles() {
     let app = by_name("fmm").unwrap(); // branch-noisy
-    let bimodal = simulate_with_chip(
-        &app,
-        ArchKind::Fa1.chip(),
-        1,
-        SCALE,
-        7,
-        MemConfig::table3(),
-    );
+    let bimodal = simulate_with_chip(&app, ArchKind::Fa1.chip(), 1, SCALE, 7, MemConfig::table3());
     let static_taken = simulate_with_chip(
         &app,
-        ArchKind::Fa1.chip().with_predictor(PredictorKind::StaticTaken),
+        ArchKind::Fa1
+            .chip()
+            .with_predictor(PredictorKind::StaticTaken),
         1,
         SCALE,
         7,
@@ -102,7 +102,10 @@ fn gshare_history_pollution_on_smt() {
 
 #[test]
 fn multiprogram_batches_preserve_work_and_order_smt_first() {
-    let mix: Vec<AppSpec> = ["vpenta", "tomcatv"].iter().map(|n| by_name(n).unwrap()).collect();
+    let mix: Vec<AppSpec> = ["vpenta", "tomcatv"]
+        .iter()
+        .map(|n| by_name(n).unwrap())
+        .collect();
     let smt2 = simulate_job_batches(&mix, 8, ArchKind::Smt2.chip(), 1, SCALE, 7);
     let fa2 = simulate_job_batches(&mix, 8, ArchKind::Fa2.chip(), 1, SCALE, 7);
     let fa8 = simulate_job_batches(&mix, 8, ArchKind::Fa8.chip(), 1, SCALE, 7);
@@ -131,7 +134,10 @@ fn replacement_policy_changes_are_bounded() {
         1,
         SCALE,
         7,
-        MemConfig { replacement: csmt_mem::Replacement::Random, ..MemConfig::table3() },
+        MemConfig {
+            replacement: csmt_mem::Replacement::Random,
+            ..MemConfig::table3()
+        },
     );
     assert_eq!(lru.slots.committed, rnd.slots.committed);
     let ratio = rnd.cycles as f64 / lru.cycles as f64;
@@ -144,12 +150,19 @@ fn store_buffer_backpressure_visible_only_when_tiny() {
     let roomy = simulate_with_chip(&app, ArchKind::Fa2.chip(), 1, SCALE, 7, MemConfig::table3());
     let tiny = simulate_with_chip(
         &app,
-        ArchKind::Fa2.chip().with_cluster(|c| c.with_store_buffer(1)),
+        ArchKind::Fa2
+            .chip()
+            .with_cluster(|c| c.with_store_buffer(1)),
         1,
         SCALE,
         7,
         MemConfig::table3(),
     );
-    assert!(tiny.cycles >= roomy.cycles, "{} vs {}", tiny.cycles, roomy.cycles);
+    assert!(
+        tiny.cycles >= roomy.cycles,
+        "{} vs {}",
+        tiny.cycles,
+        roomy.cycles
+    );
     assert_eq!(tiny.slots.committed, roomy.slots.committed);
 }

@@ -24,7 +24,10 @@ fn results() -> &'static HashMap<(String, ArchKind, usize), RunResult> {
                 .into_iter()
                 .flat_map(|app| {
                     let mut v = Vec::new();
-                    for arch in ArchKind::FA_FIGURES.into_iter().chain([ArchKind::Smt4, ArchKind::Smt1]) {
+                    for arch in ArchKind::FA_FIGURES
+                        .into_iter()
+                        .chain([ArchKind::Smt4, ArchKind::Smt1])
+                    {
                         for chips in [1usize, 4] {
                             let app = app.clone();
                             v.push(s.spawn(move || {
@@ -93,8 +96,15 @@ fn smt2_beats_or_ties_every_fa_high_end() {
 fn fa1_is_not_best_for_parallel_apps_low_end() {
     for app in ["vpenta", "ocean", "mgrid", "swim"] {
         let fa1 = get(app, ArchKind::Fa1, 1).cycles;
-        let best_other = FAS[..3].iter().map(|&a| get(app, a, 1).cycles).min().unwrap();
-        assert!(fa1 > best_other, "{app}: FA1 {fa1} vs best narrow FA {best_other}");
+        let best_other = FAS[..3]
+            .iter()
+            .map(|&a| get(app, a, 1).cycles)
+            .min()
+            .unwrap();
+        assert!(
+            fa1 > best_other,
+            "{app}: FA1 {fa1} vs best narrow FA {best_other}"
+        );
     }
 }
 
@@ -144,7 +154,10 @@ fn smt2_close_to_centralized_smt1() {
             let smt2 = get(app, ArchKind::Smt2, chips).cycles as f64;
             let smt1 = get(app, ArchKind::Smt1, chips).cycles as f64;
             let delta = (smt2 - smt1).abs() / smt1;
-            assert!(delta < 0.12, "{app} ({chips} chips): SMT2 {smt2} vs SMT1 {smt1}");
+            assert!(
+                delta < 0.12,
+                "{app} ({chips} chips): SMT2 {smt2} vs SMT1 {smt1}"
+            );
         }
     }
 }
@@ -155,12 +168,23 @@ fn smt2_close_to_centralized_smt1() {
 #[test]
 fn clock_adjusted_smt2_wins_everywhere() {
     let adjusted = |app: &str, arch: ArchKind| {
-        let clock = if arch.chip().cluster.issue_width == 8 { 2.0 } else { 1.0 };
+        let clock = if arch.chip().cluster.issue_width == 8 {
+            2.0
+        } else {
+            1.0
+        };
         get(app, arch, 1).cycles as f64 * clock
     };
     for app in APPS {
         let smt2 = adjusted(app, ArchKind::Smt2);
-        for arch in [ArchKind::Fa8, ArchKind::Fa4, ArchKind::Fa2, ArchKind::Fa1, ArchKind::Smt4, ArchKind::Smt1] {
+        for arch in [
+            ArchKind::Fa8,
+            ArchKind::Fa4,
+            ArchKind::Fa2,
+            ArchKind::Fa1,
+            ArchKind::Smt4,
+            ArchKind::Smt1,
+        ] {
             assert!(
                 smt2 <= adjusted(app, arch) * 1.03,
                 "{app}: SMT2 {smt2} vs {} {}",
@@ -208,7 +232,10 @@ fn remote_traffic_only_on_high_end() {
         let low = get(app, ArchKind::Smt2, 1);
         let high = get(app, ArchKind::Smt2, 4);
         assert_eq!(low.mem.remote_mem + low.mem.remote_l2, 0, "{app} low-end");
-        assert!(high.mem.remote_mem + high.mem.remote_l2 > 0, "{app} high-end");
+        assert!(
+            high.mem.remote_mem + high.mem.remote_l2 > 0,
+            "{app} high-end"
+        );
     }
 }
 

@@ -57,7 +57,11 @@ fn smt2_dominates_fa2_in_model_and_simulation() {
         assert!(m_smt2 >= m_fa2 - 1e-9, "{}: model violated", app.name);
         let s_fa2 = simulate(&app, ArchKind::Fa2, 1, SCALE, SEED).cycles as f64;
         let s_smt2 = simulate(&app, ArchKind::Smt2, 1, SCALE, SEED).cycles as f64;
-        assert!(s_smt2 <= s_fa2 * 1.03, "{}: sim violated ({s_smt2} vs {s_fa2})", app.name);
+        assert!(
+            s_smt2 <= s_fa2 * 1.03,
+            "{}: sim violated ({s_smt2} vs {s_fa2})",
+            app.name
+        );
     }
 }
 

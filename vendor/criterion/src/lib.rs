@@ -1,0 +1,286 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! crate cannot be fetched. This crate reimplements the benchmarking API
+//! surface this workspace uses — `Criterion`, `benchmark_group`,
+//! `BenchmarkGroup<'_, WallTime>` with `sample_size`/`warm_up_time`/
+//! `measurement_time`, `Bencher::iter`, and the `criterion_group!`/
+//! `criterion_main!` macros — with the same paths and names.
+//!
+//! Measurement is deliberately simple: per benchmark, a warm-up phase
+//! estimates the cost of one iteration, then `sample_size` samples are
+//! timed (each sized to fit the measurement budget) and min/median/mean
+//! are reported on stdout. There are no plots, no statistical regression
+//! tests, and no saved baselines. Passing `--test` (as `cargo test
+//! --benches` does) runs each routine once, skipping measurement.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub mod measurement {
+    //! Measurement back-ends. Only wall-clock time exists here.
+
+    /// Wall-clock time measurement (the default; named so call sites can
+    /// spell `BenchmarkGroup<'_, WallTime>` like real criterion).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// Re-export of `std::hint::black_box` for call sites that import it from
+/// criterion rather than std.
+pub use std::hint::black_box;
+
+/// Top-level benchmark harness state.
+#[derive(Debug)]
+pub struct Criterion {
+    /// Run each routine exactly once (set by `--test`, as passed by
+    /// `cargo test --benches`).
+    test_mode: bool,
+    /// Substring filter from the command line, like real criterion.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => {}
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            _measurement: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a, M> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent warming up (and estimating iteration cost).
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target total time for the timed samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark. `f` receives a [`Bencher`]; it should call
+    /// [`Bencher::iter`] exactly once with the routine to measure.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&full);
+        self
+    }
+
+    /// End the group. (Real criterion emits summary output here; the
+    /// stand-in reports per-benchmark, so this is a no-op.)
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; times the routine given to [`iter`].
+///
+/// [`iter`]: Bencher::iter
+pub struct Bencher {
+    test_mode: bool,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `routine`: warm up for the configured time to estimate the
+    /// per-iteration cost, then record `sample_size` timed samples.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up: run until the warm-up budget is spent, counting
+        // iterations to estimate per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Size each sample so all samples together fit the measurement
+        // budget, with at least one iteration per sample.
+        let budget_per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((budget_per_sample / per_iter).floor() as u64).max(1);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.test_mode {
+            println!("{id}: ok (test mode)");
+            return;
+        }
+        if self.samples_ns.is_empty() {
+            println!("{id}: no samples (did the closure call iter()?)");
+            return;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let mut line = String::new();
+        let _ = write!(
+            line,
+            "{id}: min {} median {} mean {} ({} samples)",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+            sorted.len()
+        );
+        println!("{line}");
+    }
+}
+
+/// Human-readable nanosecond quantity.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Bundle benchmark functions into a single runner function, mirroring
+/// real criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_sample_count() {
+        let mut b = Bencher {
+            test_mode: false,
+            warm_up_time: Duration::from_millis(5),
+            measurement_time: Duration::from_millis(10),
+            sample_size: 7,
+            samples_ns: Vec::new(),
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x
+        });
+        assert_eq!(b.samples_ns.len(), 7);
+        assert!(b.samples_ns.iter().all(|s| *s > 0.0));
+    }
+
+    #[test]
+    fn test_mode_runs_once_without_sampling() {
+        let mut b = Bencher {
+            test_mode: true,
+            warm_up_time: Duration::from_secs(100),
+            measurement_time: Duration::from_secs(100),
+            sample_size: 10,
+            samples_ns: Vec::new(),
+        };
+        let mut runs = 0;
+        b.iter(|| runs += 1);
+        assert_eq!(runs, 1);
+        assert!(b.samples_ns.is_empty());
+    }
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert_eq!(fmt_ns(12.0), "12.0 ns");
+        assert_eq!(fmt_ns(1500.0), "1.50 µs");
+        assert_eq!(fmt_ns(2.5e6), "2.50 ms");
+        assert_eq!(fmt_ns(3.0e9), "3.000 s");
+    }
+}

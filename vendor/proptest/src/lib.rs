@@ -1,0 +1,521 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! crate cannot be fetched. This crate reimplements the slice of the API
+//! this workspace's property tests use, with the same module paths and
+//! item names (`prelude::*`, `Strategy`, `Just`, `any`, `prop_oneof!`,
+//! `prop::collection::vec`, `proptest!`, `prop_assert*!`,
+//! `ProptestConfig`), so the tests compile unchanged and the real crate
+//! can be swapped back in later.
+//!
+//! Differences from real proptest, chosen for smallness:
+//!
+//! * No shrinking: a failing case reports its generated inputs verbatim.
+//! * Generation is driven by a fixed splitmix64 stream seeded from the
+//!   test's module path and name, so failures are reproducible across
+//!   runs without a persistence file.
+
+pub mod test_runner {
+    //! Config, error, and RNG types (mirrors `proptest::test_runner`).
+
+    use std::fmt;
+
+    /// How many cases each property runs, mirroring the real config's
+    /// `cases` knob. Construct with struct-update syntax:
+    /// `ProptestConfig { cases: 64, ..ProptestConfig::default() }`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+        /// Accepted for API compatibility with the real crate; the
+        /// stand-in does not shrink failing inputs.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256, max_shrink_iters: 0 }
+        }
+    }
+
+    /// A property-level failure (from `prop_assert*!`), distinct from a
+    /// panic: carries the assertion message.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Build a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic splitmix64 generator. Seeded from the test name so
+    /// every run of a given test sees the same case sequence.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Seed from a test identifier (FNV-1a over the name).
+        pub fn for_test(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng(h)
+        }
+
+        /// Next raw 64-bit value (splitmix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform-ish value in `0..n` (modulo bias is irrelevant at the
+        /// ranges property tests use).
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn f64_unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators (mirrors
+    //! `proptest::strategy`).
+
+    use super::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type. `Debug` so failing cases can print their
+        /// inputs.
+        type Value: Debug;
+
+        /// Draw one value from the strategy.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erase into a [`BoxedStrategy`] (used by `prop_oneof!` to
+        /// unify heterogeneous arm types).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A type-erased strategy.
+    #[allow(clippy::type_complexity)]
+    pub struct BoxedStrategy<V>(Rc<dyn Fn(&mut TestRng) -> V>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<V: Debug> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (self.0)(rng)
+        }
+    }
+
+    /// Weighted choice between boxed alternatives; the expansion of
+    /// `prop_oneof!`.
+    pub struct Union<V> {
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+        total: u64,
+    }
+
+    impl<V> Union<V> {
+        /// Build from `(weight, strategy)` arms. Panics if all weights
+        /// are zero.
+        pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! needs a positive total weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<V: Debug> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.below(self.total);
+            for (w, s) in &self.arms {
+                let w = u64::from(*w);
+                if pick < w {
+                    return s.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weights cover 0..total")
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    (self.start as u64).wrapping_add(rng.below(span)) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for ::std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.f64_unit() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support (mirrors `proptest::arbitrary`).
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized + Debug {
+        /// Draw an arbitrary value of `Self`.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Default)]
+    pub struct Any<A>(PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn generate(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// The full-domain strategy for `A`: `any::<bool>()`, `any::<u16>()`, …
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (mirrors `proptest::collection`).
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// `vec(element_strategy, min..max)` — lengths are drawn uniformly
+    /// from the half-open range, like real proptest.
+    pub fn vec<S: Strategy>(elem: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Weighted or unweighted choice between strategies producing the same
+/// value type: `prop_oneof![a, b]` or `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(::std::vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(::std::vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+/// Property-failure assertion: records the message and fails the case
+/// without unwinding through foreign frames.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assertion for property tests. Operands are compared by
+/// reference, so passing references or values both work.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (l, r) = (&$a, &$b);
+        $crate::prop_assert!(*l == *r, "assertion failed: `{:?} == {:?}`", l, r);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?} == {:?}`: {}",
+            l,
+            r,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Inequality assertion for property tests.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (l, r) = (&$a, &$b);
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?} != {:?}`", l, r);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?} != {:?}`: {}",
+            l,
+            r,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Declare property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` (the attribute is written explicitly at the use
+/// site, as with real proptest) looping over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr;
+     $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(
+                    ::std::concat!(::std::module_path!(), "::", ::std::stringify!($name)),
+                );
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let inputs = ::std::format!(
+                        ::std::concat!($(::std::stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        ::std::panic!(
+                            "property `{}` failed at case {}/{}:\n  {}\n  inputs: {}",
+                            ::std::stringify!($name),
+                            case + 1,
+                            config.cases,
+                            e,
+                            inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_test("ranges");
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(3u8..7), &mut rng);
+            assert!((3..7).contains(&v));
+            let f = Strategy::generate(&(0.5f64..2.0), &mut rng);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn union_respects_zero_weight() {
+        let mut rng = crate::test_runner::TestRng::for_test("union");
+        let s = prop_oneof![0 => Just(1u8), 5 => Just(2u8)];
+        for _ in 0..100 {
+            assert_eq!(Strategy::generate(&s, &mut rng), 2);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let strat = prop::collection::vec((0u64..100, any::<bool>()), 1..20);
+        let mut a = crate::test_runner::TestRng::for_test("det");
+        let mut b = crate::test_runner::TestRng::for_test("det");
+        for _ in 0..50 {
+            assert_eq!(
+                Strategy::generate(&strat, &mut a),
+                Strategy::generate(&strat, &mut b)
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        /// The macro plumbing itself: args bind, asserts pass, tuples and
+        /// maps compose.
+        #[test]
+        fn macro_end_to_end(
+            xs in prop::collection::vec(0u32..50, 1..10),
+            flag in any::<bool>(),
+            scaled in (1u8..5).prop_map(|v| v as u32 * 10),
+        ) {
+            prop_assert!(!xs.is_empty());
+            for x in &xs {
+                prop_assert!(*x < 50, "x = {}", x);
+            }
+            prop_assert_eq!(flag, flag);
+            prop_assert_ne!(scaled, 0u32);
+            prop_assert!(scaled.is_multiple_of(10));
+        }
+    }
+}

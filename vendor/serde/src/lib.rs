@@ -1,0 +1,429 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! The build environment has no network access, so the real `serde` crate
+//! cannot be fetched. This crate provides the small slice of the serde API
+//! this workspace actually uses — `#[derive(Serialize)]`, a `Serialize`
+//! trait, and a JSON-shaped [`Value`] data model — with the same crate and
+//! item names, so swapping the real serde back in later is a one-line
+//! manifest change for any code that sticks to this subset.
+//!
+//! Design differences from real serde, chosen for smallness:
+//!
+//! * Serialization is *value-building*, not visitor-driven:
+//!   [`Serialize::to_value`] produces a [`Value`] tree that `serde_json`
+//!   renders. This costs an intermediate allocation per dump, which is fine
+//!   for end-of-run statistics (the only use here).
+//! * Deserialization is only what the tests need: parsing JSON text into
+//!   [`Value`] (see `serde_json::from_str`).
+
+pub use serde_derive::Serialize;
+
+use std::fmt;
+
+/// A JSON-shaped dynamic value. Object keys keep insertion order, so struct
+/// serialization is stable and golden tests can compare exact strings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative integers (and any parsed integer with a leading `-`).
+    I64(i64),
+    /// Non-negative integers.
+    U64(u64),
+    /// Floating-point numbers.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an i64, when exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(n) => Some(*n),
+            Value::U64(n) => i64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a u64, when exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(n) => Some(*n),
+            Value::I64(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// Any numeric value as an f64.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(x) => Some(*x),
+            Value::U64(n) => Some(*n as f64),
+            Value::I64(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as an object (ordered key/value pairs), if it is one.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Is this `Value::Null`?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member by key (None for non-objects or absent keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+/// Render a JSON number the way serde_json does: integers bare, floats with
+/// a decimal point or exponent (Rust's `{:?}` guarantees round-tripping),
+/// non-finite values as `null` (JSON has no representation for them).
+fn write_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        out.push_str(&format!("{x:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Value {
+    /// Compact JSON rendering.
+    pub fn render(&self, out: &mut String) {
+        self.render_at(out, None, 0);
+    }
+
+    /// Pretty JSON rendering with 2-space indents.
+    pub fn render_pretty(&self, out: &mut String) {
+        self.render_at(out, Some(2), 0);
+    }
+
+    fn render_at(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (nl, pad, pad_in) = match indent {
+            Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
+            None => ("", String::new(), String::new()),
+        };
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::I64(n) => out.push_str(&n.to_string()),
+            Value::U64(n) => out.push_str(&n.to_string()),
+            Value::F64(x) => write_f64(out, *x),
+            Value::Str(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    v.render_at(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Value::Object(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.render_at(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.render(&mut s);
+        f.write_str(&s)
+    }
+}
+
+/// Types that can report themselves as a [`Value`].
+pub trait Serialize {
+    /// Build the JSON-shaped representation of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types constructible from a [`Value`] (only what the tests need).
+pub trait Deserialize: Sized {
+    /// Rebuild from a parsed value.
+    fn from_value(v: Value) -> Result<Self, String>;
+}
+
+impl Deserialize for Value {
+    fn from_value(v: Value) -> Result<Self, String> {
+        Ok(v)
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<K: AsRef<str>, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.as_ref().to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(3u64.to_value(), Value::U64(3));
+        assert_eq!((-3i32).to_value(), Value::I64(-3));
+        assert_eq!(1.5f64.to_value(), Value::F64(1.5));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("x".to_value(), Value::Str("x".into()));
+        assert_eq!(Option::<u8>::None.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn arrays_and_vecs_serialize_elementwise() {
+        let v = [1.0f64, 2.0].to_value();
+        assert_eq!(v, Value::Array(vec![Value::F64(1.0), Value::F64(2.0)]));
+        assert_eq!(vec![1u8, 2].to_value().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn float_rendering_keeps_a_decimal_point() {
+        let mut s = String::new();
+        Value::F64(1.0).render(&mut s);
+        assert_eq!(s, "1.0");
+        let mut s = String::new();
+        Value::F64(f64::NAN).render(&mut s);
+        assert_eq!(s, "null");
+    }
+
+    #[test]
+    fn string_escaping_covers_quotes_and_controls() {
+        let mut s = String::new();
+        Value::Str("a\"b\\c\nd".into()).render(&mut s);
+        assert_eq!(s, r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn value_indexing_and_comparison() {
+        let v = Value::Array(vec![Value::Object(vec![(
+            "arch".to_string(),
+            Value::Str("FA8".to_string()),
+        )])]);
+        assert_eq!(v[0]["arch"], "FA8");
+        assert!(v[9]["missing"].is_null());
+    }
+}

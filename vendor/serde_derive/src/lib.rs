@@ -1,0 +1,138 @@
+//! Minimal offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for structs with named fields (the
+//! only shape this workspace derives on), honoring `#[serde(skip)]` on
+//! fields. Parsing walks the raw token stream directly — no `syn`/`quote`,
+//! since the build environment is offline and those crates are unavailable.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (the vendored stand-in's `to_value` form) for
+/// a struct with named fields. Fields annotated `#[serde(skip)]` are
+/// omitted from the output object.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility/keywords until the
+    // `struct` keyword.
+    let mut name = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // attr: `#` + bracket group
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                if let Some(TokenTree::Ident(n)) = tokens.get(i + 1) {
+                    name = Some(n.to_string());
+                }
+                i += 2;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    let name = name.expect("derive(Serialize): expected `struct Name`");
+
+    // The next brace group holds the fields. Generics are unsupported: this
+    // stand-in only needs to cover the workspace's concrete stats structs.
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("derive(Serialize) stand-in does not support generic structs")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                panic!("derive(Serialize) stand-in requires named fields")
+            }
+            Some(_) => i += 1,
+            None => panic!("derive(Serialize): struct body not found"),
+        }
+    };
+
+    let fields = parse_named_fields(body);
+    let mut members = String::new();
+    for f in &fields {
+        members.push_str(&format!(
+            "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),"
+        ));
+    }
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![{members}])\n\
+             }}\n\
+         }}"
+    );
+    out.parse()
+        .expect("derive(Serialize): generated impl must parse")
+}
+
+/// Extract non-skipped field names from a named-fields body stream.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // Leading field attributes; detect `#[serde(skip)]`.
+        let mut skip = false;
+        while let (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g))) =
+            (toks.get(i), toks.get(i + 1))
+        {
+            if p.as_char() != '#' || g.delimiter() != Delimiter::Bracket {
+                break;
+            }
+            let attr: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(id)) = attr.first() {
+                if id.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = attr.get(1) {
+                        if args
+                            .stream()
+                            .into_iter()
+                            .any(|t| matches!(t, TokenTree::Ident(w) if w.to_string() == "skip"))
+                        {
+                            skip = true;
+                        }
+                    }
+                }
+            }
+            i += 2;
+        }
+        // Visibility: `pub` optionally followed by a `(...)` restriction.
+        if matches!(&toks.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        // Field name.
+        let Some(TokenTree::Ident(fname)) = toks.get(i) else {
+            break; // trailing comma / end
+        };
+        let fname = fname.to_string();
+        i += 1;
+        assert!(
+            matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "derive(Serialize): expected `:` after field `{fname}`"
+        );
+        i += 1;
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(t) = toks.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        if !skip {
+            fields.push(fname);
+        }
+    }
+    fields
+}
