@@ -421,7 +421,11 @@ mod tests {
 
     /// The wants-flags of `P`, materialized as runtime values.
     fn wants<P: Probe>() -> [bool; 3] {
-        [P::WANTS_INST_EVENTS, P::WANTS_CACHE_EVENTS, P::WANTS_CYCLE_STATS]
+        [
+            P::WANTS_INST_EVENTS,
+            P::WANTS_CACHE_EVENTS,
+            P::WANTS_CYCLE_STATS,
+        ]
     }
 
     #[test]

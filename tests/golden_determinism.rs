@@ -1,0 +1,188 @@
+//! Golden determinism digests for the pipeline refactor.
+//!
+//! Locks the exact behavior of the simulator — cycle counts, committed
+//! instruction counts, the full serialized `RunResult` (SlotStats +
+//! MemStats), and the complete probe event stream — for every Table 2
+//! architecture on one application at a small scale, seed `0xC5317`.
+//! Any behavioral drift in the cluster pipeline (however subtle) changes
+//! at least one digest and fails this test loudly.
+//!
+//! The expected values below were captured on the pre-refactor monolithic
+//! `cluster.rs` (PR 1 tree); the staged-pipeline refactor must reproduce
+//! them bit for bit.
+//!
+//! To re-capture after an *intentional* behavior change:
+//! `GOLDEN_PRINT=1 cargo test -q --test golden_determinism -- --nocapture`
+
+use csmt_core::ArchKind;
+use csmt_trace::{CacheEvent, CycleStats, FetchEvent, Probe, StageEvent, SyncEvent};
+use csmt_workloads::{by_name, simulate_probed};
+use std::fmt::Write as _;
+
+const SCALE: f64 = 0.2;
+const SEED: u64 = 0xC5_317;
+const APP: &str = "mgrid";
+
+/// The seven distinct Table 2 configurations (SMT8 is an alias of FA8).
+const ARCHS: [ArchKind; 7] = [
+    ArchKind::Fa8,
+    ArchKind::Fa4,
+    ArchKind::Fa2,
+    ArchKind::Fa1,
+    ArchKind::Smt4,
+    ArchKind::Smt2,
+    ArchKind::Smt1,
+];
+
+/// (arch name, cycles, committed, run-result digest, event-stream digest).
+const EXPECTED: [(&str, u64, u64, u64, u64); 7] = [
+    ("FA8", 6058, 22160, 0x0d891347a8914ae8, 0x656c89d5235c2afd),
+    ("FA4", 5340, 22160, 0xa6c7284c45fae13a, 0x120697d0b4231f2e),
+    ("FA2", 6149, 22160, 0x4c99a2de9ddf9f43, 0xf2ebe0834ebe552f),
+    ("FA1", 8665, 22160, 0x144a8c1fa702cfc3, 0xf8f180d6999a2e17),
+    ("SMT4", 4888, 22160, 0x825206c50b75ecef, 0xd366a456ae9b3b7e),
+    ("SMT2", 4875, 22160, 0xc6eb617c0c8ad226, 0x6eb0a38eb0955692),
+    ("SMT1", 5195, 22160, 0xd9530d8cd531ffe1, 0xa912b83cb94c7ebf),
+];
+
+/// FNV-1a over bytes; stable across platforms and rustc versions.
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Hashes every probe event, in order, via its `Debug` rendering (all
+/// event payloads derive `Debug`, and the rendering covers every field).
+struct EventDigest {
+    fnv: Fnv,
+    buf: String,
+    events: u64,
+}
+
+impl EventDigest {
+    fn new() -> Self {
+        EventDigest {
+            fnv: Fnv::new(),
+            buf: String::with_capacity(256),
+            events: 0,
+        }
+    }
+    fn absorb(&mut self, tag: &str, payload: std::fmt::Arguments<'_>) {
+        self.buf.clear();
+        let _ = write!(self.buf, "{tag}:{payload};");
+        self.fnv.update(self.buf.as_bytes());
+        self.events += 1;
+    }
+}
+
+impl Probe for EventDigest {
+    fn fetch(&mut self, e: FetchEvent) {
+        self.absorb("F", format_args!("{e:?}"));
+    }
+    fn rename(&mut self, e: StageEvent) {
+        self.absorb("R", format_args!("{e:?}"));
+    }
+    fn issue(&mut self, e: StageEvent) {
+        self.absorb("I", format_args!("{e:?}"));
+    }
+    fn writeback(&mut self, e: StageEvent) {
+        self.absorb("W", format_args!("{e:?}"));
+    }
+    fn commit(&mut self, e: StageEvent) {
+        self.absorb("C", format_args!("{e:?}"));
+    }
+    fn squash(&mut self, e: StageEvent) {
+        self.absorb("Q", format_args!("{e:?}"));
+    }
+    fn cache_access(&mut self, e: CacheEvent) {
+        self.absorb("M", format_args!("{e:?}"));
+    }
+    fn sync_event(&mut self, e: SyncEvent) {
+        self.absorb("S", format_args!("{e:?}"));
+    }
+    fn cycle_end(&mut self, cycle: u64, stats: Option<&CycleStats>) {
+        // Hash the end-of-cycle snapshot too: it covers SlotStats
+        // accumulation (hazard attribution) cycle by cycle.
+        self.absorb("E", format_args!("{cycle}:{stats:?}"));
+    }
+}
+
+#[test]
+fn per_architecture_digests_are_bit_for_bit_stable() {
+    let app = by_name(APP).expect("paper app");
+    let mem = csmt_mem::MemConfig::table3;
+    let capture = std::env::var_os("GOLDEN_PRINT").is_some();
+    let mut failures = Vec::new();
+    for (i, arch) in ARCHS.into_iter().enumerate() {
+        let mut probe = EventDigest::new();
+        let r = simulate_probed(&app, arch.chip(), 1, SCALE, SEED, mem(), &mut probe);
+        let json = serde_json::to_string(&r).expect("RunResult serializes");
+        let mut rd = Fnv::new();
+        rd.update(json.as_bytes());
+        let got = (
+            arch.name(),
+            r.cycles,
+            r.slots.committed,
+            rd.finish(),
+            probe.fnv.finish(),
+        );
+        if capture {
+            println!(
+                "    (\"{}\", {}, {}, 0x{:016x}, 0x{:016x}),",
+                got.0, got.1, got.2, got.3, got.4
+            );
+            continue;
+        }
+        let want = EXPECTED[i];
+        if got != want {
+            failures.push(format!(
+                "{}: got (cycles={}, committed={}, result=0x{:016x}, events=0x{:016x} [{} events]), \
+                 want (cycles={}, committed={}, result=0x{:016x}, events=0x{:016x})",
+                got.0, got.1, got.2, got.3, got.4, probe.events, want.1, want.2, want.3, want.4
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "behavioral drift detected:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// The digests must not depend on whether a probe observes the run: the
+/// unprobed path (`NullProbe` monomorphization) must produce the same
+/// statistics as the probed one.
+#[test]
+fn probed_and_unprobed_runs_agree() {
+    let app = by_name(APP).expect("paper app");
+    for arch in [ArchKind::Smt2, ArchKind::Fa8] {
+        let plain = csmt_workloads::simulate(&app, arch, 1, SCALE, SEED);
+        let mut probe = EventDigest::new();
+        let probed = simulate_probed(
+            &app,
+            arch.chip(),
+            1,
+            SCALE,
+            SEED,
+            csmt_mem::MemConfig::table3(),
+            &mut probe,
+        );
+        assert_eq!(plain.cycles, probed.cycles, "{}", arch.name());
+        assert_eq!(plain.slots, probed.slots, "{}", arch.name());
+        assert_eq!(plain.mem, probed.mem, "{}", arch.name());
+        assert!(probe.events > 0);
+    }
+}

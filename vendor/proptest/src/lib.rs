@@ -34,7 +34,10 @@ pub mod test_runner {
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            ProptestConfig { cases: 256, max_shrink_iters: 0 }
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
         }
     }
 
