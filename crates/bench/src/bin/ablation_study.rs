@@ -15,10 +15,7 @@ use csmt_mem::MemConfig;
 use csmt_workloads::{all_apps, runner::simulate_with_mem};
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.5);
+    let scale = csmt_bench::scale_from_args_or(0.5);
     let variants: Vec<(&str, MemConfig)> = vec![
         ("table3 (baseline)", MemConfig::table3()),
         (

@@ -7,10 +7,7 @@ use csmt_core::ArchKind;
 use csmt_workloads::{all_apps, simulate};
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.3);
+    let scale = csmt_bench::scale_from_args_or(0.3);
     println!("scale = {scale}\n");
 
     println!("-- Figure 6 coordinates (low-end) --");

@@ -5,15 +5,12 @@
 //! factors, turning the near-tie between SMT2 and SMT1 into the decisive
 //! SMT2 win the paper concludes with.
 
-use csmt_bench::{adjusted_time, cycle_time_factor, run_figure, FIGURE_SCALE};
+use csmt_bench::{adjusted_time, cycle_time_factor, run_figure};
 use csmt_core::ArchKind;
 use csmt_workloads::all_apps;
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(FIGURE_SCALE);
+    let scale = csmt_bench::scale_from_args();
     let archs = [
         ArchKind::Fa8,
         ArchKind::Fa4,

@@ -97,10 +97,9 @@ fn summary_row(r: &RunResult) -> Value {
 }
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let app_name = args.next().unwrap_or_else(|| "vpenta".into());
-    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.3);
-    let chips: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let app_name: String = csmt_bench::arg_or(1, "vpenta".into());
+    let scale: f64 = csmt_bench::arg_or(2, 0.3);
+    let chips: usize = csmt_bench::arg_or(3, 1);
     let app = by_name(&app_name).expect("unknown application");
     let (trace_dir, interval) = trace_config();
     if let Some(dir) = &trace_dir {

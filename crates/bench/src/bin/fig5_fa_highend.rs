@@ -7,15 +7,12 @@
 //! highly parallel ones (vpenta) FA1 gets relatively worse; SMT2 has the
 //! lowest execution time and the most stable performance.
 
-use csmt_bench::{render_figure, run_figure, write_json, FIGURE_SCALE};
+use csmt_bench::{render_figure, run_figure, write_json};
 use csmt_core::ArchKind;
 use csmt_workloads::all_apps;
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(FIGURE_SCALE);
+    let scale = csmt_bench::scale_from_args();
     let rows = run_figure(&ArchKind::FA_FIGURES, &all_apps(), 4, ArchKind::Fa8, scale);
     if let Some(p) = write_json(&rows, "fig5") {
         eprintln!("wrote {}", p.display());

@@ -52,10 +52,7 @@ fn measure(n_chips: usize, scale: f64) {
 }
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1.0);
+    let scale = csmt_bench::scale_from_args_or(1.0);
     println!("== Figure 6(a) — low-end machine ==");
     measure(1, scale);
     println!("\n== Figure 6(b) — high-end machine (per-chip averages) ==");

@@ -6,15 +6,12 @@
 //! within 0–9% of SMT1; the fetch hazard grows from SMT4 toward SMT1 (the
 //! shared-queue fetch bottleneck of Tullsen et al.).
 
-use csmt_bench::{fetch_fraction, render_figure, run_figure, write_json, FIGURE_SCALE};
+use csmt_bench::{fetch_fraction, render_figure, run_figure, write_json};
 use csmt_core::ArchKind;
 use csmt_workloads::all_apps;
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(FIGURE_SCALE);
+    let scale = csmt_bench::scale_from_args();
     let rows = run_figure(
         &ArchKind::SMT_FIGURES,
         &all_apps(),

@@ -6,15 +6,12 @@
 //! slower than SMT1 in cycles, which the §5.2 clock-frequency argument then
 //! turns into a decisive SMT2 win.
 
-use csmt_bench::{render_figure, run_figure, write_json, FIGURE_SCALE};
+use csmt_bench::{render_figure, run_figure, write_json};
 use csmt_core::ArchKind;
 use csmt_workloads::all_apps;
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(FIGURE_SCALE);
+    let scale = csmt_bench::scale_from_args();
     let rows = run_figure(
         &ArchKind::SMT_FIGURES,
         &all_apps(),

@@ -12,10 +12,7 @@ use csmt_core::ArchKind;
 use csmt_workloads::{all_apps, simulate_job_batches};
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.3);
+    let scale = csmt_bench::scale_from_args_or(0.3);
     let apps = all_apps();
     let mixes: Vec<(&str, Vec<usize>)> = vec![
         ("8 jobs of swim+vpenta", vec![0, 3]),

@@ -10,10 +10,7 @@ use csmt_core::ArchKind;
 use csmt_workloads::{simulate_tls, TlsLoop};
 
 fn main() {
-    let epochs: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(240);
+    let epochs: u64 = csmt_bench::arg_or(1, 240);
     let seq = simulate_tls(&TlsLoop::demo(epochs, 0.0), ArchKind::Fa1.chip(), 7);
     println!(
         "sequential baseline (FA1, 1 thread): {} cycles for {} epochs\n",

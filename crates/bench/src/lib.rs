@@ -15,6 +15,28 @@ pub const FIGURE_SCALE: f64 = 1.0;
 /// Seed used by all figure runs.
 pub const FIGURE_SEED: u64 = 0xC5_317;
 
+/// Parse argv[`n`] as a `T`, falling back to `default` when the argument
+/// is absent or unparsable (the argv convention shared by every bench
+/// binary).
+pub fn arg_or<T: std::str::FromStr>(n: usize, default: T) -> T {
+    std::env::args()
+        .nth(n)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Work scale from the binary's first CLI argument, defaulting to
+/// [`FIGURE_SCALE`] (the `fig*` binaries all take `[scale]` this way).
+pub fn scale_from_args() -> f64 {
+    arg_or(1, FIGURE_SCALE)
+}
+
+/// [`scale_from_args`] with a binary-specific default (the study binaries
+/// default below full figure scale).
+pub fn scale_from_args_or(default: f64) -> f64 {
+    arg_or(1, default)
+}
+
 /// One figure cell: an application simulated on one architecture.
 #[derive(Debug, Clone)]
 pub struct Cell {
@@ -55,8 +77,12 @@ impl AppRow {
 
 /// Run one figure: `archs` × `apps` on `n_chips` chips, normalizing each
 /// application to `baseline` (FA8 for Figs 4/5, SMT8 for Figs 7/8).
-/// Runs cells in parallel across OS threads (each simulation is
-/// independent and deterministic).
+///
+/// Every (app × arch) cell is an independent, deterministic simulation,
+/// so the whole grid fans out across OS threads at once — a slow cell
+/// (e.g. ocean on FA1) overlaps every other cell instead of gating its
+/// row. Results are reassembled in (apps, archs) order, so the output is
+/// identical to a sequential sweep.
 pub fn run_figure(
     archs: &[ArchKind],
     apps: &[AppSpec],
@@ -65,41 +91,48 @@ pub fn run_figure(
     scale: f64,
 ) -> Vec<AppRow> {
     use std::thread;
-    let rows: Vec<AppRow> = thread::scope(|s| {
-        let handles: Vec<_> = apps
+    let grid: Vec<Vec<RunResult>> = thread::scope(|s| {
+        let handles: Vec<Vec<_>> = apps
             .iter()
             .map(|app| {
-                let archs = archs.to_vec();
-                s.spawn(move || {
-                    let results: Vec<(ArchKind, RunResult)> = archs
-                        .iter()
-                        .map(|&a| (a, simulate(app, a, n_chips, scale, FIGURE_SEED)))
-                        .collect();
-                    let base_cycles = results
-                        .iter()
-                        .find(|(a, _)| *a == baseline)
-                        .map(|(_, r)| r.cycles)
-                        .expect("baseline in archs");
-                    AppRow {
-                        app: app.name,
-                        cells: results
-                            .into_iter()
-                            .map(|(arch, result)| Cell {
-                                arch,
-                                normalized: 100.0 * result.cycles as f64 / base_cycles as f64,
-                                result,
-                            })
-                            .collect(),
-                    }
-                })
+                archs
+                    .iter()
+                    .map(|&a| s.spawn(move || simulate(app, a, n_chips, scale, FIGURE_SEED)))
+                    .collect()
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("sim thread"))
+            .map(|row| {
+                row.into_iter()
+                    .map(|h| h.join().expect("sim thread"))
+                    .collect()
+            })
             .collect()
     });
-    rows
+    apps.iter()
+        .zip(grid)
+        .map(|(app, results)| {
+            let base_cycles = archs
+                .iter()
+                .zip(&results)
+                .find(|(a, _)| **a == baseline)
+                .map(|(_, r)| r.cycles)
+                .expect("baseline in archs");
+            AppRow {
+                app: app.name,
+                cells: archs
+                    .iter()
+                    .zip(results)
+                    .map(|(&arch, result)| Cell {
+                        arch,
+                        normalized: 100.0 * result.cycles as f64 / base_cycles as f64,
+                        result,
+                    })
+                    .collect(),
+            }
+        })
+        .collect()
 }
 
 /// §5.2 clock-frequency adjustment. Palacharla & Jouppi [12]: an 8-issue

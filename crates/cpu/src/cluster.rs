@@ -8,35 +8,24 @@
 //! issued in any order. Finally, instructions are committed on a per-thread
 //! basis"); Table 2 gives one entry count for "Instruction Queue & Reorder
 //! buffer".
+//!
+//! This type is a façade: it owns the per-stage state and drives the
+//! per-cycle phase order; the stage logic lives in [`crate::pipeline`].
 
 use crate::bpred::BranchPredictor;
-use crate::config::{ClusterConfig, FetchPolicy};
+use crate::config::ClusterConfig;
 use crate::fu::FuPool;
-use crate::stats::{Hazard, SlotStats};
-use csmt_isa::stream::WrongPathGen;
-use csmt_isa::{ArchReg, DynInst, InstStream, OpClass, SyncOp};
-use csmt_mem::{AccessKind, MemorySystem};
-use csmt_trace::{FetchEvent, NullProbe, Probe, StageEvent};
-use std::collections::VecDeque;
+use crate::pipeline::lsq::StoreBuffer;
+use crate::pipeline::regs::{Regs, ThreadCtx};
+use crate::pipeline::rename::RenamePools;
+use crate::pipeline::window::Window;
+use crate::pipeline::{commit, fetch, regs};
+use crate::stats::SlotStats;
+use csmt_isa::{InstStream, SyncOp};
+use csmt_mem::MemorySystem;
+use csmt_trace::{NullProbe, Probe};
 
-/// Externally visible state of a hardware thread context.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ThreadState {
-    /// No software thread attached.
-    Idle,
-    /// Fetching the correct path.
-    Running,
-    /// An unresolved mispredicted branch is in flight; fetching wrong-path
-    /// instructions that will be squashed.
-    WrongPath,
-    /// A sync marker was fetched; waiting for in-flight instructions to
-    /// drain before reporting to the runtime.
-    Draining,
-    /// Drained at a sync point; the runtime decides when to resume.
-    WaitingSync,
-    /// Program finished.
-    Done,
-}
+pub use crate::pipeline::regs::ThreadState;
 
 /// Events the cluster reports to the parallel runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,108 +44,15 @@ pub enum ClusterEvent {
     },
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum EState {
-    Waiting,
-    Exec { done_at: u64 },
-    Done,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SrcState {
-    Ready,
-    Wait(u32),
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Entry {
-    valid: bool,
-    thread: u8,
-    /// Cluster-global dispatch order; doubles as per-thread program order.
-    seq: u64,
-    op: OpClass,
-    pc: u64,
-    state: EState,
-    srcs: [SrcState; 2],
-    dest: Option<ArchReg>,
-    mem_addr: u64,
-    is_store: bool,
-    br_taken: bool,
-    br_target: u64,
-    has_branch: bool,
-    mispredicted: bool,
-    wrong_path: bool,
-}
-
-const DEAD: Entry = Entry {
-    valid: false,
-    thread: 0,
-    seq: 0,
-    op: OpClass::Nop,
-    pc: 0,
-    state: EState::Waiting,
-    srcs: [SrcState::Ready, SrcState::Ready],
-    dest: None,
-    mem_addr: 0,
-    is_store: false,
-    br_taken: false,
-    br_target: 0,
-    has_branch: false,
-    mispredicted: false,
-    wrong_path: false,
-};
-
-struct ThreadCtx {
-    state: ThreadState,
-    stream: Option<Box<dyn InstStream + Send>>,
-    pending: Option<DynInst>,
-    pending_sync: Option<SyncOp>,
-    map: [Option<u32>; ArchReg::COUNT],
-    fifo: VecDeque<u32>,
-    wp_gen: WrongPathGen,
-    wp_pc: u64,
-    /// Cycle until which an empty window counts as a control (redirect)
-    /// bubble rather than a fetch hazard.
-    redirect_until: u64,
-    committed: u64,
-}
-
-impl ThreadCtx {
-    fn new(seed: u64) -> Self {
-        ThreadCtx {
-            state: ThreadState::Idle,
-            stream: None,
-            pending: None,
-            pending_sync: None,
-            map: [None; ArchReg::COUNT],
-            fifo: VecDeque::with_capacity(128),
-            wp_gen: WrongPathGen::new(seed),
-            wp_pc: 0,
-            redirect_until: 0,
-            committed: 0,
-        }
-    }
-}
-
 /// One cluster pipeline. See the crate docs for the per-cycle phases.
 pub struct Cluster {
     cfg: ClusterConfig,
-    window: Vec<Entry>,
-    free_slots: Vec<u32>,
-    threads: Vec<ThreadCtx>,
+    regs: Regs,
+    win: Window,
+    rename: RenamePools,
+    lsq: StoreBuffer,
     fu: FuPool,
     bpred: BranchPredictor,
-    rename_int_free: usize,
-    rename_fp_free: usize,
-    fetch_rr: usize,
-    seq_counter: u64,
-    stats: SlotStats,
-    rename_stalled: bool,
-    /// Completion times of committed stores still draining to the cache.
-    store_buffer: Vec<u64>,
-    // Scratch (reused across cycles; no per-cycle allocation).
-    ready_buf: Vec<(u64, u32)>,
-    wake_buf: Vec<u32>,
 }
 
 impl Cluster {
@@ -165,22 +61,16 @@ impl Cluster {
     pub fn new(cfg: ClusterConfig, seed: u64) -> Self {
         let mut rng = csmt_isa::SplitMix64::new(seed);
         Cluster {
-            window: vec![DEAD; cfg.window_entries],
-            free_slots: (0..cfg.window_entries as u32).rev().collect(),
-            threads: (0..cfg.hw_threads)
-                .map(|i| ThreadCtx::new(rng.fork(i as u64).next_u64()))
-                .collect(),
+            regs: Regs::new(
+                (0..cfg.hw_threads)
+                    .map(|i| ThreadCtx::new(rng.fork(i as u64).next_u64()))
+                    .collect(),
+            ),
+            win: Window::new(cfg.window_entries),
+            rename: RenamePools::new(cfg.rename_int, cfg.rename_fp),
+            lsq: StoreBuffer::new(cfg.store_buffer),
             fu: FuPool::new(cfg.fu_counts),
             bpred: BranchPredictor::with_kind(cfg.predictor),
-            rename_int_free: cfg.rename_int,
-            rename_fp_free: cfg.rename_fp,
-            fetch_rr: 0,
-            seq_counter: 0,
-            stats: SlotStats::default(),
-            rename_stalled: false,
-            store_buffer: Vec::with_capacity(cfg.store_buffer),
-            ready_buf: Vec::with_capacity(cfg.window_entries),
-            wake_buf: Vec::with_capacity(cfg.window_entries),
             cfg,
         }
     }
@@ -192,7 +82,7 @@ impl Cluster {
 
     /// Attach a software thread's instruction stream to context `ctx`.
     pub fn attach_thread(&mut self, ctx: usize, stream: Box<dyn InstStream + Send>) {
-        let t = &mut self.threads[ctx];
+        let t = &mut self.regs.threads[ctx];
         assert_eq!(t.state, ThreadState::Idle, "context already in use");
         t.stream = Some(stream);
         t.state = ThreadState::Running;
@@ -201,7 +91,7 @@ impl Cluster {
     /// Resume a thread parked at a sync point (barrier released / lock
     /// granted). The runtime calls this.
     pub fn resume_thread(&mut self, ctx: usize) {
-        let t = &mut self.threads[ctx];
+        let t = &mut self.regs.threads[ctx];
         assert_eq!(
             t.state,
             ThreadState::WaitingSync,
@@ -212,13 +102,14 @@ impl Cluster {
 
     /// Current state of context `ctx`.
     pub fn thread_state(&self, ctx: usize) -> ThreadState {
-        self.threads[ctx].state
+        self.regs.threads[ctx].state
     }
 
     /// Number of contexts currently making progress (not idle, parked or
     /// done) — used for the paper's Figure 6 thread-parallelism metric.
     pub fn running_threads(&self) -> usize {
-        self.threads
+        self.regs
+            .threads
             .iter()
             .filter(|t| {
                 matches!(
@@ -231,19 +122,20 @@ impl Cluster {
 
     /// True while any context still has work (in-flight or un-fetched).
     pub fn busy(&self) -> bool {
-        self.threads
+        self.regs
+            .threads
             .iter()
             .any(|t| !matches!(t.state, ThreadState::Idle | ThreadState::Done))
     }
 
     /// Slot statistics accumulated so far.
     pub fn stats(&self) -> &SlotStats {
-        &self.stats
+        &self.regs.stats
     }
 
     /// Instructions committed by context `ctx`.
     pub fn thread_committed(&self, ctx: usize) -> u64 {
-        self.threads[ctx].committed
+        self.regs.threads[ctx].committed
     }
 
     /// Branch predictor statistics (lookups, mispredictions).
@@ -253,7 +145,7 @@ impl Cluster {
 
     /// In-flight instruction count of context `ctx` (diagnostics).
     pub fn inflight(&self, ctx: usize) -> usize {
-        self.threads[ctx].fifo.len()
+        self.regs.threads[ctx].fifo.len()
     }
 
     /// Advance one cycle. `node` selects the chip in `mem` this cluster
@@ -281,1027 +173,48 @@ impl Cluster {
         probe: &mut P,
         cluster_id: u32,
     ) {
-        self.rename_stalled = false;
-        self.complete(now, probe, cluster_id);
-        self.commit(now, mem, node, events, probe, cluster_id);
-        let (useful, wrong) = self.issue(now, mem, node, probe, cluster_id);
-        self.fetch(now, probe, cluster_id);
-        self.account(now, useful, wrong);
-    }
-
-    // ------------------------------------------------------------------
-    // complete: retire execution, wake dependents, resolve branches.
-    // ------------------------------------------------------------------
-    fn complete<P: Probe>(&mut self, now: u64, probe: &mut P, cluster_id: u32) {
-        self.wake_buf.clear();
-        for slot in 0..self.window.len() {
-            let e = &mut self.window[slot];
-            if e.valid {
-                if let EState::Exec { done_at } = e.state {
-                    if done_at <= now {
-                        e.state = EState::Done;
-                        if P::WANTS_INST_EVENTS {
-                            probe.writeback(StageEvent {
-                                cycle: now,
-                                cluster: cluster_id,
-                                uid: e.seq,
-                            });
-                        }
-                        self.wake_buf.push(slot as u32);
-                    }
-                }
-            }
-        }
-        // Wake dependents, resolve branches (oldest first so squashes are
-        // handled in age order).
-        self.wake_buf.sort_by_key(|&s| self.window[s as usize].seq);
-        for i in 0..self.wake_buf.len() {
-            let slot = self.wake_buf[i];
-            let (has_branch, pc, taken, target, mispredicted, thread, seq, valid) = {
-                let e = &self.window[slot as usize];
-                (
-                    e.has_branch,
-                    e.pc,
-                    e.br_taken,
-                    e.br_target,
-                    e.mispredicted,
-                    e.thread as usize,
-                    e.seq,
-                    e.valid,
-                )
-            };
-            if !valid {
-                continue; // squashed by an older branch this same cycle
-            }
-            // Wake any entry waiting on this slot.
-            for w in self.window.iter_mut() {
-                if w.valid {
-                    for s in w.srcs.iter_mut() {
-                        if *s == SrcState::Wait(slot) {
-                            *s = SrcState::Ready;
-                        }
-                    }
-                }
-            }
-            if has_branch {
-                self.bpred.resolve(pc, taken, target, mispredicted);
-                if mispredicted {
-                    self.squash_after(thread, seq, now, probe, cluster_id);
-                }
-            }
-        }
-    }
-
-    /// Remove all of `thread`'s instructions younger than `seq` (the
-    /// wrong-path fetches), rebuild its map table, resume correct-path fetch.
-    fn squash_after<P: Probe>(
-        &mut self,
-        thread: usize,
-        seq: u64,
-        now: u64,
-        probe: &mut P,
-        cluster_id: u32,
-    ) {
-        while let Some(&back) = self.threads[thread].fifo.back() {
-            let victim_seq = self.window[back as usize].seq;
-            if victim_seq <= seq {
-                break;
-            }
-            self.threads[thread].fifo.pop_back();
-            self.release_slot(back);
-            if P::WANTS_INST_EVENTS {
-                probe.squash(StageEvent {
-                    cycle: now,
-                    cluster: cluster_id,
-                    uid: victim_seq,
-                });
-            }
-        }
-        // Rebuild the map table from surviving in-flight producers.
-        let t = &mut self.threads[thread];
-        t.map = [None; ArchReg::COUNT];
-        for &s in &t.fifo {
-            if let Some(d) = self.window[s as usize].dest {
-                t.map[d.flat_index()] = Some(s);
-            }
-        }
-        if t.state == ThreadState::WrongPath {
-            t.state = ThreadState::Running;
-        }
-        t.redirect_until = now + 1;
-    }
-
-    fn release_slot(&mut self, slot: u32) {
-        let e = &mut self.window[slot as usize];
-        debug_assert!(e.valid);
-        if let Some(d) = e.dest {
-            if d.is_fp() {
-                self.rename_fp_free += 1;
-            } else {
-                self.rename_int_free += 1;
-            }
-        }
-        *e = DEAD;
-        self.free_slots.push(slot);
-    }
-
-    // ------------------------------------------------------------------
-    // commit: per-thread in-order retirement.
-    // ------------------------------------------------------------------
-    fn commit<P: Probe>(
-        &mut self,
-        now: u64,
-        mem: &mut MemorySystem,
-        node: usize,
-        events: &mut Vec<ClusterEvent>,
-        probe: &mut P,
-        cluster_id: u32,
-    ) {
-        let mut budget = self.cfg.retire_width;
-        let n_threads = self.threads.len();
-        // Round-robin start keeps retirement fair across contexts.
-        for off in 0..n_threads {
-            let tid = (self.fetch_rr + off) % n_threads;
-            while budget > 0 {
-                let Some(&head) = self.threads[tid].fifo.front() else {
-                    break;
-                };
-                let e = &self.window[head as usize];
-                if e.state != EState::Done {
-                    break;
-                }
-                debug_assert!(!e.wrong_path, "wrong-path entry survived to commit");
-                let (is_store, addr, dest, seq) = (e.is_store, e.mem_addr, e.dest, e.seq);
-                if is_store {
-                    // Stores perform their cache access at commit; the store
-                    // buffer absorbs the latency, but a full buffer stalls
-                    // this thread's retirement until a drain completes.
-                    self.store_buffer.retain(|&t| t > now);
-                    if self.store_buffer.len() >= self.cfg.store_buffer {
-                        break;
-                    }
-                    let out = mem.access_probed(node, addr, AccessKind::Write, now, probe);
-                    self.store_buffer.push(out.complete_at);
-                }
-                if let Some(d) = dest {
-                    if self.threads[tid].map[d.flat_index()] == Some(head) {
-                        self.threads[tid].map[d.flat_index()] = None;
-                    }
-                }
-                self.threads[tid].fifo.pop_front();
-                self.release_slot(head);
-                self.threads[tid].committed += 1;
-                self.stats.committed += 1;
-                budget -= 1;
-                if P::WANTS_INST_EVENTS {
-                    probe.commit(StageEvent {
-                        cycle: now,
-                        cluster: cluster_id,
-                        uid: seq,
-                    });
-                }
-            }
-        }
-        // Drained sync / exit detection.
-        for tid in 0..n_threads {
-            let t = &mut self.threads[tid];
-            if t.state == ThreadState::Draining && t.fifo.is_empty() {
-                let op = t
-                    .pending_sync
-                    .take()
-                    .expect("draining thread has a sync op");
-                if op == SyncOp::Exit {
-                    t.state = ThreadState::Done;
-                    events.push(ClusterEvent::ThreadDone { thread: tid });
-                } else {
-                    t.state = ThreadState::WaitingSync;
-                    events.push(ClusterEvent::SyncReached { thread: tid, op });
-                }
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // issue: oldest-first over ready instructions.
-    // ------------------------------------------------------------------
-    fn issue<P: Probe>(
-        &mut self,
-        now: u64,
-        mem: &mut MemorySystem,
-        node: usize,
-        probe: &mut P,
-        cluster_id: u32,
-    ) -> (usize, usize) {
-        self.ready_buf.clear();
-        for (slot, e) in self.window.iter().enumerate() {
-            if e.valid && e.state == EState::Waiting && e.srcs.iter().all(|s| *s == SrcState::Ready)
-            {
-                self.ready_buf.push((e.seq, slot as u32));
-            }
-        }
-        self.ready_buf.sort_unstable();
-        let mut useful = 0;
-        let mut wrong = 0;
-        let width = self.cfg.issue_width;
-        for i in 0..self.ready_buf.len() {
-            if useful + wrong >= width {
-                break;
-            }
-            let slot = self.ready_buf[i].1 as usize;
-            let (op, addr, is_store, thread, seq, wrong_path) = {
-                let e = &self.window[slot];
-                (
-                    e.op,
-                    e.mem_addr,
-                    e.is_store,
-                    e.thread as usize,
-                    e.seq,
-                    e.wrong_path,
-                )
-            };
-            if !self.fu.can_issue(op, now) {
-                self.fu.note_structural_stall();
-                continue;
-            }
-            let done_at = if op == OpClass::Load {
-                // Store-to-load forwarding within the thread's in-flight
-                // stores (full load bypassing, §3.1).
-                let forwarded = self.threads[thread].fifo.iter().any(|&s| {
-                    let w = &self.window[s as usize];
-                    w.is_store && w.seq < seq && w.mem_addr == addr
-                });
-                if forwarded {
-                    self.fu.issue(op, now)
-                } else {
-                    if mem.free_mshrs(node, now) == 0 {
-                        // Outstanding-load limit reached: cannot issue.
-                        continue;
-                    }
-                    self.fu.issue(op, now);
-                    let out = mem.access_probed(node, addr, AccessKind::Read, now, probe);
-                    out.complete_at.max(now + op.latency() as u64)
-                }
-            } else if is_store {
-                // Stores only compute their address/value here; the cache
-                // write happens at commit.
-                self.fu.issue(op, now)
-            } else {
-                self.fu.issue(op, now)
-            };
-            self.window[slot].state = EState::Exec { done_at };
-            if P::WANTS_INST_EVENTS {
-                probe.issue(StageEvent {
-                    cycle: now,
-                    cluster: cluster_id,
-                    uid: seq,
-                });
-            }
-            if wrong_path {
-                wrong += 1;
-            } else {
-                useful += 1;
-            }
-        }
-        (useful, wrong)
-    }
-
-    // ------------------------------------------------------------------
-    // fetch/dispatch. The paper's baseline fetches from one thread per
-    // cycle, round-robin (§3.2); the alternatives Tullsen et al. propose
-    // for the fetch bottleneck (§5.2 discussion) are selectable via
-    // [`crate::config::FetchPolicy`].
-    // ------------------------------------------------------------------
-    fn fetch<P: Probe>(&mut self, now: u64, probe: &mut P, cluster_id: u32) {
-        let n = self.threads.len();
-        let fetchable =
-            |t: &ThreadCtx| matches!(t.state, ThreadState::Running | ThreadState::WrongPath);
-        match self.cfg.fetch_policy {
-            FetchPolicy::RoundRobin => {
-                for off in 0..n {
-                    let tid = (self.fetch_rr + off) % n;
-                    if fetchable(&self.threads[tid]) {
-                        self.fetch_rr = (tid + 1) % n;
-                        self.fetch_from(tid, self.cfg.issue_width, now, probe, cluster_id);
-                        return;
-                    }
-                }
-            }
-            FetchPolicy::ICount => {
-                // Instruction-count feedback: fetch for the thread with the
-                // fewest instructions in flight (ties broken round-robin),
-                // keeping the shared window balanced so no thread can clog it.
-                let mut best: Option<(usize, usize)> = None;
-                for off in 0..n {
-                    let tid = (self.fetch_rr + off) % n;
-                    if fetchable(&self.threads[tid]) {
-                        let inflight = self.threads[tid].fifo.len();
-                        if best.is_none_or(|(_, b)| inflight < b) {
-                            best = Some((tid, inflight));
-                        }
-                    }
-                }
-                if let Some((tid, _)) = best {
-                    self.fetch_rr = (tid + 1) % n;
-                    self.fetch_from(tid, self.cfg.issue_width, now, probe, cluster_id);
-                }
-            }
-            FetchPolicy::Partitioned2 => {
-                // Two fetch ports, each half the width (RR.2.<w/2> in
-                // Tullsen et al.'s notation): two different threads can
-                // fetch in the same cycle.
-                let budget = (self.cfg.issue_width / 2).max(1);
-                let mut picked = 0;
-                let mut off = 0;
-                let start = self.fetch_rr;
-                while picked < 2 && off < n {
-                    let tid = (start + off) % n;
-                    off += 1;
-                    if fetchable(&self.threads[tid]) {
-                        self.fetch_rr = (tid + 1) % n;
-                        self.fetch_from(tid, budget, now, probe, cluster_id);
-                        picked += 1;
-                    }
-                }
-            }
-        }
-    }
-
-    /// Fetch and dispatch up to `budget` instructions from thread `tid`.
-    fn fetch_from<P: Probe>(
-        &mut self,
-        tid: usize,
-        budget: usize,
-        now: u64,
-        probe: &mut P,
-        cluster_id: u32,
-    ) {
-        let mut fetched = 0;
-        while fetched < budget {
-            if self.free_slots.is_empty() {
-                break; // window full
-            }
-            let state = self.threads[tid].state;
-            let inst = match state {
-                ThreadState::Running => {
-                    let t = &mut self.threads[tid];
-                    let next = t
-                        .pending
-                        .take()
-                        .or_else(|| t.stream.as_mut().and_then(|s| s.next_inst()));
-                    match next {
-                        None => {
-                            // Stream exhausted without an explicit Exit.
-                            t.pending_sync = Some(SyncOp::Exit);
-                            t.state = ThreadState::Draining;
-                            break;
-                        }
-                        Some(i) if i.op == OpClass::Sync => {
-                            t.pending_sync = Some(i.sync.expect("sync op"));
-                            t.state = ThreadState::Draining;
-                            break;
-                        }
-                        Some(i) => i,
-                    }
-                }
-                ThreadState::WrongPath => {
-                    let t = &mut self.threads[tid];
-                    let pc = t.wp_pc;
-                    t.wp_pc += 4;
-                    t.wp_gen.next_inst(pc)
-                }
-                _ => break,
-            };
-            // Rename: need a free register of the destination's kind.
-            if let Some(d) = inst.real_dest() {
-                let pool = if d.is_fp() {
-                    &mut self.rename_fp_free
-                } else {
-                    &mut self.rename_int_free
-                };
-                if *pool == 0 {
-                    self.rename_stalled = true;
-                    if state == ThreadState::Running {
-                        self.threads[tid].pending = Some(inst);
-                    }
-                    break;
-                }
-                *pool -= 1;
-            }
-            let wrong_path = state == ThreadState::WrongPath;
-            let slot = self.free_slots.pop().expect("checked non-empty");
-            self.seq_counter += 1;
-            let seq = self.seq_counter;
-            // Source readiness via the map table.
-            let mut srcs = [SrcState::Ready, SrcState::Ready];
-            {
-                let t = &self.threads[tid];
-                for (k, s) in inst.srcs.iter().enumerate() {
-                    if let Some(r) = s.filter(|r| !r.is_zero()) {
-                        if let Some(p) = t.map[r.flat_index()] {
-                            if self.window[p as usize].state != EState::Done {
-                                srcs[k] = SrcState::Wait(p);
-                            }
-                        }
-                    }
-                }
-            }
-            let mut entry = Entry {
-                valid: true,
-                thread: tid as u8,
-                seq,
-                op: inst.op,
-                pc: inst.pc,
-                state: EState::Waiting,
-                srcs,
-                dest: inst.real_dest(),
-                mem_addr: inst.mem.map_or(0, |m| m.addr),
-                is_store: inst.op == OpClass::Store,
-                br_taken: false,
-                br_target: 0,
-                has_branch: false,
-                mispredicted: false,
-                wrong_path,
-            };
-            let mut predicted_taken = false;
-            if let Some(b) = inst.branch {
-                entry.has_branch = true;
-                entry.br_taken = b.taken;
-                entry.br_target = b.target;
-                let pred = self.bpred.predict(inst.pc);
-                predicted_taken = pred;
-                let btb_ok = !pred || self.bpred.btb_hit(inst.pc, b.target);
-                if pred != b.taken || !btb_ok {
-                    entry.mispredicted = true;
-                }
-            }
-            // Install.
-            if let Some(d) = entry.dest {
-                self.threads[tid].map[d.flat_index()] = Some(slot);
-            }
-            self.window[slot as usize] = entry;
-            self.threads[tid].fifo.push_back(slot);
-            fetched += 1;
-            if P::WANTS_INST_EVENTS {
-                probe.fetch(FetchEvent {
-                    cycle: now,
-                    cluster: cluster_id,
-                    thread: tid as u32,
-                    uid: seq,
-                    pc: entry.pc,
-                    op: entry.op,
-                    wrong_path,
-                });
-                probe.rename(StageEvent {
-                    cycle: now,
-                    cluster: cluster_id,
-                    uid: seq,
-                });
-            }
-            if entry.has_branch && entry.mispredicted && !wrong_path {
-                // Fetch goes down the wrong path until resolution.
-                self.threads[tid].state = ThreadState::WrongPath;
-                self.threads[tid].wp_pc = inst.pc + 4;
-            }
-            if predicted_taken {
-                // Cannot fetch past a predicted-taken branch in one cycle.
-                break;
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // account: §4.1 issue-slot attribution.
-    // ------------------------------------------------------------------
-    fn account(&mut self, now: u64, useful: usize, wrong: usize) {
-        let mut w = [0.0f64; 7];
-        if self.rename_stalled {
-            w[Hazard::Other.index()] += 1.0;
-        }
-        for t in &self.threads {
-            match t.state {
-                ThreadState::Idle
-                | ThreadState::Done
-                | ThreadState::Draining
-                | ThreadState::WaitingSync => {
-                    // Parked threads waste their share of the cluster:
-                    // spinning at barriers/locks (or gone).
-                    w[Hazard::Sync.index()] += 1.0;
-                }
-                ThreadState::Running | ThreadState::WrongPath => {
-                    if t.fifo.is_empty() {
-                        if now < t.redirect_until {
-                            w[Hazard::Control.index()] += 1.0;
-                        } else {
-                            w[Hazard::Fetch.index()] += 1.0;
-                        }
-                        continue;
-                    }
-                    let mut any_weight = false;
-                    for &s in &t.fifo {
-                        let e = &self.window[s as usize];
-                        match e.state {
-                            EState::Waiting => {
-                                any_weight = true;
-                                if e.wrong_path {
-                                    w[Hazard::Control.index()] += 1.0;
-                                    continue;
-                                }
-                                let mut waiting_mem = false;
-                                let mut waiting_data = false;
-                                for src in &e.srcs {
-                                    if let SrcState::Wait(p) = src {
-                                        let prod = &self.window[*p as usize];
-                                        if prod.op == OpClass::Load
-                                            && matches!(prod.state, EState::Exec { .. })
-                                        {
-                                            waiting_mem = true;
-                                        } else {
-                                            waiting_data = true;
-                                        }
-                                    }
-                                }
-                                if waiting_mem {
-                                    w[Hazard::Memory.index()] += 1.0;
-                                } else if waiting_data {
-                                    w[Hazard::Data.index()] += 1.0;
-                                } else {
-                                    // Ready but not issued: lack of FU or of
-                                    // issue bandwidth.
-                                    w[Hazard::Structural.index()] += 1.0;
-                                }
-                            }
-                            EState::Exec { .. } => {
-                                // An issued load still waiting on the memory
-                                // system keeps its slice of the machine busy:
-                                // charge it as a memory hazard, as the
-                                // paper's window scan does for instructions
-                                // held up by memory accesses.
-                                if e.op == OpClass::Load {
-                                    w[Hazard::Memory.index()] += 1.0;
-                                    any_weight = true;
-                                }
-                            }
-                            EState::Done => {}
-                        }
-                    }
-                    if !any_weight {
-                        // Window full of completed work awaiting retirement:
-                        // the structural limit is the window/retire
-                        // bandwidth itself.
-                        w[Hazard::Structural.index()] += 1.0;
-                    }
-                }
-            }
-        }
-        self.stats
-            .record_cycle(self.cfg.issue_width, useful, wrong, &w);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use csmt_isa::stream::VecStream;
-    use csmt_mem::MemConfig;
-
-    fn mem1() -> MemorySystem {
-        MemorySystem::new(MemConfig::table3(), 1, 7)
-    }
-
-    fn alu(pc: u64, dest: u8, src: u8) -> DynInst {
-        DynInst::alu(
-            pc,
-            OpClass::IntAlu,
-            Some(ArchReg::Int(dest)),
-            [Some(ArchReg::Int(src)), None],
-        )
-    }
-
-    /// Run until all threads are done; returns cycles taken.
-    fn run(cluster: &mut Cluster, mem: &mut MemorySystem, max: u64) -> u64 {
-        let mut events = Vec::new();
-        for now in 0..max {
-            cluster.step(now, mem, 0, &mut events);
-            if !cluster.busy() {
-                return now;
-            }
-        }
-        panic!("did not finish within {max} cycles");
-    }
-
-    #[test]
-    fn independent_alus_approach_full_issue_width() {
-        let mut c = Cluster::new(ClusterConfig::for_width(4, 1), 1);
-        let mut mem = mem1();
-        // 400 independent ALU ops (distinct dest, src = $0-equivalent none).
-        let insts: Vec<DynInst> = (0..400)
-            .map(|i| {
-                DynInst::alu(
-                    i * 4,
-                    OpClass::IntAlu,
-                    Some(ArchReg::Int(1 + (i % 8) as u8)),
-                    [None, None],
-                )
-            })
-            .collect();
-        c.attach_thread(0, Box::new(VecStream::new(insts)));
-        let cycles = run(&mut c, &mut mem, 10_000);
-        assert_eq!(c.thread_committed(0), 400);
-        // 4 int FUs, fetch 4/cycle: should finish in a little over 100 cycles.
-        assert!(cycles < 140, "took {cycles}");
-    }
-
-    #[test]
-    fn dependence_chain_limits_ipc_to_one() {
-        let mut c = Cluster::new(ClusterConfig::for_width(4, 1), 1);
-        let mut mem = mem1();
-        // r1 <- r1 chain of 300 ops.
-        let insts: Vec<DynInst> = (0..300).map(|i| alu(i * 4, 1, 1)).collect();
-        c.attach_thread(0, Box::new(VecStream::new(insts)));
-        let cycles = run(&mut c, &mut mem, 10_000);
-        assert!(cycles >= 299, "chain cannot beat 1 IPC: {cycles}");
-        assert!(cycles < 400, "but should stay close to it: {cycles}");
-    }
-
-    #[test]
-    fn load_use_pays_memory_latency() {
-        let mut c = Cluster::new(ClusterConfig::for_width(4, 1), 1);
-        let mut mem = mem1();
-        // A single load (cold: TLB walk + local memory) then a dependent op.
-        let insts = vec![
-            DynInst::load(0, ArchReg::Int(1), 0x100, [None, None]),
-            alu(4, 2, 1),
-        ];
-        c.attach_thread(0, Box::new(VecStream::new(insts)));
-        let cycles = run(&mut c, &mut mem, 10_000);
-        // ~30 (TLB) + 40 (memory) plus pipeline overhead.
-        assert!(
-            cycles >= 70,
-            "cold load must expose memory latency: {cycles}"
+        self.regs.rename_stalled = false;
+        self.win.complete_phase(
+            &mut self.regs,
+            &mut self.rename,
+            &mut self.bpred,
+            now,
+            probe,
+            cluster_id,
         );
-        assert!(cycles < 100, "{cycles}");
-    }
-
-    #[test]
-    fn store_forwarding_hides_memory_latency() {
-        let mut c = Cluster::new(ClusterConfig::for_width(4, 1), 1);
-        let mut mem = mem1();
-        // Store to X then load from X: the load forwards, no 40-cycle trip.
-        let insts = vec![
-            DynInst::store(0, 0x8000, [None, None]),
-            DynInst::load(4, ArchReg::Int(1), 0x8000, [None, None]),
-            alu(8, 2, 1),
-        ];
-        c.attach_thread(0, Box::new(VecStream::new(insts)));
-        let cycles = run(&mut c, &mut mem, 10_000);
-        assert!(cycles < 20, "forwarded load should be fast: {cycles}");
-    }
-
-    #[test]
-    fn mispredicted_branch_squashes_and_still_commits_exact_count() {
-        let mut c = Cluster::new(ClusterConfig::for_width(4, 1), 1);
-        let mut mem = mem1();
-        // Alternating taken/not-taken branches defeat the 2-bit counter
-        // part of the time; all correct-path instructions must still commit
-        // exactly once.
-        let mut insts = Vec::new();
-        for i in 0..100u64 {
-            insts.push(alu(i * 16, 1, 1));
-            insts.push(DynInst::branch(
-                i * 16 + 4,
-                i % 2 == 0,
-                0,
-                [Some(ArchReg::Int(1)), None],
-            ));
-        }
-        c.attach_thread(0, Box::new(VecStream::new(insts)));
-        run(&mut c, &mut mem, 50_000);
-        assert_eq!(c.thread_committed(0), 200);
-        let (_, mispredicts) = c.bpred_stats();
-        assert!(
-            mispredicts > 20,
-            "alternating pattern must mispredict: {mispredicts}"
+        commit::run(
+            &self.cfg,
+            &mut self.regs,
+            &mut self.win,
+            &mut self.rename,
+            &mut self.lsq,
+            now,
+            mem,
+            node,
+            events,
+            probe,
+            cluster_id,
         );
-        // Wrong-path issue shows up as `other` slots.
-        assert!(c.stats().wasted[Hazard::Other.index()] > 0.0);
-    }
-
-    #[test]
-    fn well_predicted_loop_commits_cleanly() {
-        let mut c = Cluster::new(ClusterConfig::for_width(4, 1), 1);
-        let mut mem = mem1();
-        // Same backward branch, always taken: predictor locks on.
-        let mut insts = Vec::new();
-        for _ in 0..200u64 {
-            insts.push(alu(0, 1, 1));
-            insts.push(DynInst::branch(4, true, 0, [Some(ArchReg::Int(1)), None]));
-        }
-        c.attach_thread(0, Box::new(VecStream::new(insts)));
-        run(&mut c, &mut mem, 50_000);
-        assert_eq!(c.thread_committed(0), 400);
-        let (_, mispredicts) = c.bpred_stats();
-        assert!(
-            mispredicts <= 3,
-            "loop branch should be learned: {mispredicts}"
+        let (useful, wrong) = self.win.issue_phase(
+            &self.regs,
+            &mut self.fu,
+            mem,
+            node,
+            now,
+            self.cfg.issue_width,
+            probe,
+            cluster_id,
         );
-    }
-
-    #[test]
-    fn sync_marker_drains_then_reports_and_resumes() {
-        let mut c = Cluster::new(ClusterConfig::for_width(4, 2), 1);
-        let mut mem = mem1();
-        let insts = vec![
-            alu(0, 1, 1),
-            DynInst::sync(4, SyncOp::Barrier(3)),
-            alu(8, 2, 2),
-        ];
-        c.attach_thread(0, Box::new(VecStream::new(insts)));
-        let mut events = Vec::new();
-        let mut reached_at = None;
-        for now in 0..200 {
-            events.clear();
-            c.step(now, &mut mem, 0, &mut events);
-            if let Some(ClusterEvent::SyncReached { thread, op }) = events.first() {
-                assert_eq!(*thread, 0);
-                assert_eq!(*op, SyncOp::Barrier(3));
-                reached_at = Some(now);
-                break;
-            }
-        }
-        let reached_at = reached_at.expect("barrier reached");
-        assert_eq!(c.thread_state(0), ThreadState::WaitingSync);
-        assert_eq!(c.thread_committed(0), 1, "drained before reporting");
-        // Spin a while: parked thread must not advance.
-        for now in reached_at + 1..reached_at + 20 {
-            events.clear();
-            c.step(now, &mut mem, 0, &mut events);
-        }
-        assert_eq!(c.thread_committed(0), 1);
-        // Sync slots accumulated while spinning.
-        assert!(c.stats().wasted[Hazard::Sync.index()] > 0.0);
-        c.resume_thread(0);
-        let mut done = false;
-        for now in reached_at + 20..reached_at + 200 {
-            events.clear();
-            c.step(now, &mut mem, 0, &mut events);
-            if events
-                .iter()
-                .any(|e| matches!(e, ClusterEvent::ThreadDone { thread: 0 }))
-            {
-                done = true;
-                break;
-            }
-        }
-        assert!(done);
-        assert_eq!(c.thread_committed(0), 2);
-    }
-
-    #[test]
-    fn two_threads_share_the_cluster_faster_than_one_each() {
-        let chain =
-            |base: u64| -> Vec<DynInst> { (0..300).map(|i| alu(base + i * 4, 1, 1)).collect() };
-        // One thread alone: latency-bound chain, IPC 1.
-        let mut c1 = Cluster::new(ClusterConfig::for_width(4, 4), 1);
-        let mut mem = mem1();
-        c1.attach_thread(0, Box::new(VecStream::new(chain(0))));
-        let solo = run(&mut c1, &mut mem, 10_000);
-        // Two threads with independent chains: SMT overlaps them.
-        let mut c2 = Cluster::new(ClusterConfig::for_width(4, 4), 1);
-        let mut mem2 = mem1();
-        c2.attach_thread(0, Box::new(VecStream::new(chain(0))));
-        c2.attach_thread(1, Box::new(VecStream::new(chain(0x10000))));
-        let duo = run(&mut c2, &mut mem2, 10_000);
-        assert!(
-            (duo as f64) < solo as f64 * 1.4,
-            "two chains should overlap, not serialize: solo={solo} duo={duo}"
+        fetch::run(
+            &self.cfg,
+            &mut self.regs,
+            &mut self.win,
+            &mut self.rename,
+            &mut self.bpred,
+            now,
+            probe,
+            cluster_id,
         );
-        assert_eq!(c2.thread_committed(0) + c2.thread_committed(1), 600);
-    }
-
-    #[test]
-    fn narrow_cluster_cannot_exploit_wide_ilp() {
-        // 8 independent streams of work inside one thread on a 1-issue
-        // cluster: IPC pinned at 1 regardless of ILP.
-        let mut c = Cluster::new(ClusterConfig::for_width(1, 1), 1);
-        let mut mem = mem1();
-        let insts: Vec<DynInst> = (0..200)
-            .map(|i| {
-                DynInst::alu(
-                    i * 4,
-                    OpClass::IntAlu,
-                    Some(ArchReg::Int(1 + (i % 8) as u8)),
-                    [None, None],
-                )
-            })
-            .collect();
-        c.attach_thread(0, Box::new(VecStream::new(insts)));
-        let cycles = run(&mut c, &mut mem, 10_000);
-        assert!(cycles >= 199, "1-issue cluster: {cycles}");
-    }
-
-    #[test]
-    fn rename_pressure_throttles_but_does_not_deadlock() {
-        // Tiny window/rename budget via the 1-wide config, long stream of
-        // destination-writing ops.
-        let mut c = Cluster::new(ClusterConfig::for_width(1, 1), 1);
-        let mut mem = mem1();
-        let insts: Vec<DynInst> = (0..500).map(|i| alu(i * 4, 1 + (i % 4) as u8, 1)).collect();
-        c.attach_thread(0, Box::new(VecStream::new(insts)));
-        run(&mut c, &mut mem, 50_000);
-        assert_eq!(c.thread_committed(0), 500);
-    }
-
-    #[test]
-    fn deterministic_repeat_runs() {
-        let build = || {
-            let mut c = Cluster::new(ClusterConfig::for_width(4, 2), 99);
-            let mut mem = mem1();
-            let mut insts = Vec::new();
-            for i in 0..150u64 {
-                insts.push(DynInst::load(
-                    i * 12,
-                    ArchReg::Fp(1),
-                    (i * 712) % 65536,
-                    [None, None],
-                ));
-                insts.push(DynInst::alu(
-                    i * 12 + 4,
-                    OpClass::FpAdd,
-                    Some(ArchReg::Fp(2)),
-                    [Some(ArchReg::Fp(1)), None],
-                ));
-                insts.push(DynInst::branch(i * 12 + 8, i % 7 == 0, 0, [None, None]));
-            }
-            c.attach_thread(0, Box::new(VecStream::new(insts.clone())));
-            c.attach_thread(1, Box::new(VecStream::new(insts)));
-            let cycles = run(&mut c, &mut mem, 100_000);
-            (cycles, c.stats().clone())
-        };
-        let (c1, s1) = build();
-        let (c2, s2) = build();
-        assert_eq!(c1, c2);
-        assert_eq!(s1, s2);
-    }
-
-    #[test]
-    fn slot_accounting_is_conservative() {
-        // useful + wasted must equal total slots.
-        let mut c = Cluster::new(ClusterConfig::for_width(4, 2), 1);
-        let mut mem = mem1();
-        let insts: Vec<DynInst> = (0..100)
-            .map(|i| {
-                DynInst::load(
-                    i * 4,
-                    ArchReg::Int(1),
-                    (i * 64) % 32768,
-                    [Some(ArchReg::Int(1)), None],
-                )
-            })
-            .collect();
-        c.attach_thread(0, Box::new(VecStream::new(insts)));
-        run(&mut c, &mut mem, 100_000);
-        let s = c.stats();
-        let accounted = s.useful + s.wasted.iter().sum::<f64>();
-        assert!(
-            (accounted - s.slots as f64).abs() < 1e-6,
-            "accounted {accounted} vs slots {}",
-            s.slots
-        );
-    }
-
-    #[test]
-    fn icount_policy_balances_window_occupancy() {
-        // Thread 0 runs a long-latency dependent chain (clogs slowly);
-        // thread 1 runs independent ops. Under ICOUNT the starved thread
-        // gets priority, so total completion is no worse than round-robin.
-        let mk = |policy: FetchPolicy| {
-            let mut c = Cluster::new(ClusterConfig::for_width(4, 2).with_fetch_policy(policy), 1);
-            let mut mem = mem1();
-            let chain: Vec<DynInst> = (0..200)
-                .map(|i| {
-                    DynInst::alu(
-                        i * 4,
-                        OpClass::FpDivDouble,
-                        Some(ArchReg::Fp(2)),
-                        [Some(ArchReg::Fp(2)), None],
-                    )
-                })
-                .collect();
-            let indep: Vec<DynInst> = (0..200)
-                .map(|i| {
-                    DynInst::alu(
-                        0x8000 + i * 4,
-                        OpClass::IntAlu,
-                        Some(ArchReg::Int(1 + (i % 8) as u8)),
-                        [None, None],
-                    )
-                })
-                .collect();
-            c.attach_thread(0, Box::new(VecStream::new(chain)));
-            c.attach_thread(1, Box::new(VecStream::new(indep)));
-            run(&mut c, &mut mem, 100_000)
-        };
-        let rr = mk(FetchPolicy::RoundRobin);
-        let ic = mk(FetchPolicy::ICount);
-        assert!(
-            ic <= rr + 8,
-            "ICOUNT must not lose to RR here: {ic} vs {rr}"
-        );
-    }
-
-    #[test]
-    fn partitioned_fetch_feeds_two_threads_per_cycle() {
-        // With 8 threads of pure independent work on an 8-wide cluster,
-        // partitioned fetch sustains two streams per cycle and must not be
-        // slower than single-thread round-robin fetch.
-        let mk = |policy: FetchPolicy| {
-            let mut c = Cluster::new(ClusterConfig::for_width(8, 8).with_fetch_policy(policy), 1);
-            let mut mem = mem1();
-            for t in 0..8 {
-                let insts: Vec<DynInst> = (0..100)
-                    .map(|i| {
-                        DynInst::alu(
-                            ((t as u64) << 16) | (i * 4),
-                            if i % 2 == 0 {
-                                OpClass::IntAlu
-                            } else {
-                                OpClass::FpAdd
-                            },
-                            Some(ArchReg::Int(1 + (i % 8) as u8)),
-                            [None, None],
-                        )
-                    })
-                    .collect();
-                c.attach_thread(t, Box::new(VecStream::new(insts)));
-            }
-            run(&mut c, &mut mem, 100_000)
-        };
-        let rr = mk(FetchPolicy::RoundRobin);
-        let part = mk(FetchPolicy::Partitioned2);
-        assert!(part <= rr + 16, "partitioned {part} vs rr {rr}");
-    }
-
-    #[test]
-    fn all_policies_commit_everything() {
-        for policy in [
-            FetchPolicy::RoundRobin,
-            FetchPolicy::ICount,
-            FetchPolicy::Partitioned2,
-        ] {
-            let mut c = Cluster::new(ClusterConfig::for_width(4, 4).with_fetch_policy(policy), 1);
-            let mut mem = mem1();
-            for t in 0..4 {
-                let insts: Vec<DynInst> = (0..150)
-                    .map(|i| {
-                        DynInst::alu(
-                            ((t as u64) << 16) | (i * 4),
-                            OpClass::IntAlu,
-                            Some(ArchReg::Int(1)),
-                            [Some(ArchReg::Int(1)), None],
-                        )
-                    })
-                    .collect();
-                c.attach_thread(t, Box::new(VecStream::new(insts)));
-            }
-            run(&mut c, &mut mem, 100_000);
-            for t in 0..4 {
-                assert_eq!(c.thread_committed(t), 150, "{policy:?} thread {t}");
-            }
-        }
-    }
-
-    #[test]
-    fn tiny_store_buffer_throttles_store_bursts() {
-        // A stream of stores to distinct lines (every one a cache miss):
-        // with a 1-entry store buffer, commits serialize behind the misses.
-        let mk = |buf: usize| {
-            let mut c = Cluster::new(ClusterConfig::for_width(4, 1).with_store_buffer(buf), 1);
-            let mut mem = mem1();
-            let insts: Vec<DynInst> = (0..100)
-                .map(|i| DynInst::store(i * 4, 0x100_000 + i * 64, [None, None]))
-                .collect();
-            c.attach_thread(0, Box::new(VecStream::new(insts)));
-            run(&mut c, &mut mem, 1_000_000)
-        };
-        let roomy = mk(16);
-        let tight = mk(1);
-        assert!(
-            tight > roomy * 3,
-            "1-entry buffer must serialize misses: {tight} vs {roomy}"
-        );
-        // Everything still commits.
-    }
-
-    #[test]
-    fn idle_cluster_accumulates_sync_slots() {
-        let mut c = Cluster::new(ClusterConfig::for_width(4, 1), 1);
-        let mut mem = mem1();
-        let mut events = Vec::new();
-        for now in 0..10 {
-            c.step(now, &mut mem, 0, &mut events);
-        }
-        let s = c.stats();
-        assert_eq!(s.useful, 0.0);
-        assert_eq!(s.wasted[Hazard::Sync.index()], 40.0);
+        regs::account(&self.cfg, &mut self.regs, &self.win, now, useful, wrong);
     }
 }

@@ -50,6 +50,7 @@ pub mod bpred;
 pub mod cluster;
 pub mod config;
 pub mod fu;
+pub mod pipeline;
 pub mod stats;
 
 pub use bpred::{BranchPredictor, PredictorKind};

@@ -1,0 +1,92 @@
+//! Per-thread in-order retirement, store commit through the store
+//! buffer, and drained-sync / thread-exit detection.
+
+use crate::cluster::ClusterEvent;
+use crate::config::ClusterConfig;
+use csmt_isa::SyncOp;
+use csmt_mem::{AccessKind, MemorySystem};
+use csmt_trace::{Probe, StageEvent};
+
+use super::lsq::StoreBuffer;
+use super::regs::{EState, Regs, ThreadState};
+use super::rename::RenamePools;
+use super::window::Window;
+
+/// Run the commit stage.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run<P: Probe>(
+    cfg: &ClusterConfig,
+    regs: &mut Regs,
+    win: &mut Window,
+    rename: &mut RenamePools,
+    lsq: &mut StoreBuffer,
+    now: u64,
+    mem: &mut MemorySystem,
+    node: usize,
+    events: &mut Vec<ClusterEvent>,
+    probe: &mut P,
+    cluster_id: u32,
+) {
+    let mut budget = cfg.retire_width;
+    let n_threads = regs.threads.len();
+    // Round-robin start keeps retirement fair across contexts.
+    for off in 0..n_threads {
+        let tid = (regs.fetch_rr + off) % n_threads;
+        while budget > 0 {
+            let Some(&head) = regs.threads[tid].fifo.front() else {
+                break;
+            };
+            let e = &win.entries[head as usize];
+            if e.state != EState::Done {
+                break;
+            }
+            debug_assert!(!e.wrong_path, "wrong-path entry survived to commit");
+            let (is_store, addr, dest, seq) = (e.is_store, e.mem_addr, e.dest, e.seq);
+            if is_store {
+                // Stores perform their cache access at commit; the store
+                // buffer absorbs the latency, but a full buffer stalls
+                // this thread's retirement until a drain completes.
+                lsq.drain_completed(now);
+                if lsq.is_full() {
+                    break;
+                }
+                let out = mem.access_probed(node, addr, AccessKind::Write, now, probe);
+                lsq.push(out.complete_at);
+            }
+            if let Some(d) = dest {
+                if regs.threads[tid].map[d.flat_index()] == Some(head) {
+                    regs.threads[tid].map[d.flat_index()] = None;
+                }
+            }
+            regs.threads[tid].fifo.pop_front();
+            win.release(head, rename);
+            regs.threads[tid].committed += 1;
+            regs.stats.committed += 1;
+            budget -= 1;
+            if P::WANTS_INST_EVENTS {
+                probe.commit(StageEvent {
+                    cycle: now,
+                    cluster: cluster_id,
+                    uid: seq,
+                });
+            }
+        }
+    }
+    // Drained sync / exit detection.
+    for tid in 0..n_threads {
+        let t = &mut regs.threads[tid];
+        if t.state == ThreadState::Draining && t.fifo.is_empty() {
+            let op = t
+                .pending_sync
+                .take()
+                .expect("draining thread has a sync op");
+            if op == SyncOp::Exit {
+                t.state = ThreadState::Done;
+                events.push(ClusterEvent::ThreadDone { thread: tid });
+            } else {
+                t.state = ThreadState::WaitingSync;
+                events.push(ClusterEvent::SyncReached { thread: tid, op });
+            }
+        }
+    }
+}

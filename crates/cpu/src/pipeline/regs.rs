@@ -1,0 +1,237 @@
+//! Cross-stage state shared by every pipeline stage: the instruction-window
+//! entry record, per-context thread state (map table, in-flight FIFO,
+//! wrong-path generator), and the §4.1 issue-slot accounting that scans it
+//! all at the end of each cycle.
+
+use crate::config::ClusterConfig;
+use crate::stats::{Hazard, SlotStats};
+use csmt_isa::stream::WrongPathGen;
+use csmt_isa::{ArchReg, DynInst, InstStream, OpClass, SyncOp};
+use std::collections::VecDeque;
+
+use super::window::Window;
+
+/// Externally visible state of a hardware thread context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadState {
+    /// No software thread attached.
+    Idle,
+    /// Fetching the correct path.
+    Running,
+    /// An unresolved mispredicted branch is in flight; fetching wrong-path
+    /// instructions that will be squashed.
+    WrongPath,
+    /// A sync marker was fetched; waiting for in-flight instructions to
+    /// drain before reporting to the runtime.
+    Draining,
+    /// Drained at a sync point; the runtime decides when to resume.
+    WaitingSync,
+    /// Program finished.
+    Done,
+}
+
+/// Execution state of a window entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EState {
+    Waiting,
+    Exec { done_at: u64 },
+    Done,
+}
+
+/// Readiness of one source operand. `Wait(slot)` names the producing
+/// window slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SrcState {
+    Ready,
+    Wait(u32),
+}
+
+/// One instruction window / reorder buffer entry.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Entry {
+    pub valid: bool,
+    pub thread: u8,
+    /// Cluster-global dispatch order; doubles as per-thread program order.
+    pub seq: u64,
+    pub op: OpClass,
+    pub pc: u64,
+    pub state: EState,
+    pub srcs: [SrcState; 2],
+    pub dest: Option<ArchReg>,
+    pub mem_addr: u64,
+    pub is_store: bool,
+    pub br_taken: bool,
+    pub br_target: u64,
+    pub has_branch: bool,
+    pub mispredicted: bool,
+    pub wrong_path: bool,
+}
+
+pub(crate) const DEAD: Entry = Entry {
+    valid: false,
+    thread: 0,
+    seq: 0,
+    op: OpClass::Nop,
+    pc: 0,
+    state: EState::Waiting,
+    srcs: [SrcState::Ready, SrcState::Ready],
+    dest: None,
+    mem_addr: 0,
+    is_store: false,
+    br_taken: false,
+    br_target: 0,
+    has_branch: false,
+    mispredicted: false,
+    wrong_path: false,
+};
+
+/// One hardware thread context.
+pub(crate) struct ThreadCtx {
+    pub state: ThreadState,
+    pub stream: Option<Box<dyn InstStream + Send>>,
+    pub pending: Option<DynInst>,
+    pub pending_sync: Option<SyncOp>,
+    pub map: [Option<u32>; ArchReg::COUNT],
+    pub fifo: VecDeque<u32>,
+    pub wp_gen: WrongPathGen,
+    pub wp_pc: u64,
+    /// Cycle until which an empty window counts as a control (redirect)
+    /// bubble rather than a fetch hazard.
+    pub redirect_until: u64,
+    pub committed: u64,
+}
+
+impl ThreadCtx {
+    pub fn new(seed: u64) -> Self {
+        ThreadCtx {
+            state: ThreadState::Idle,
+            stream: None,
+            pending: None,
+            pending_sync: None,
+            map: [None; ArchReg::COUNT],
+            fifo: VecDeque::with_capacity(128),
+            wp_gen: WrongPathGen::new(seed),
+            wp_pc: 0,
+            redirect_until: 0,
+            committed: 0,
+        }
+    }
+}
+
+/// The cross-stage register state: thread contexts, the dispatch sequence
+/// counter, the fetch round-robin pointer, and the slot statistics.
+pub(crate) struct Regs {
+    pub threads: Vec<ThreadCtx>,
+    pub fetch_rr: usize,
+    pub seq_counter: u64,
+    /// Set by the fetch stage when renaming ran out of registers this
+    /// cycle; consumed by [`account`].
+    pub rename_stalled: bool,
+    pub stats: SlotStats,
+}
+
+impl Regs {
+    pub fn new(threads: Vec<ThreadCtx>) -> Self {
+        Regs {
+            threads,
+            fetch_rr: 0,
+            seq_counter: 0,
+            rename_stalled: false,
+            stats: SlotStats::default(),
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// account: §4.1 issue-slot attribution.
+// ------------------------------------------------------------------
+pub(crate) fn account(
+    cfg: &ClusterConfig,
+    regs: &mut Regs,
+    win: &Window,
+    now: u64,
+    useful: usize,
+    wrong: usize,
+) {
+    let mut w = [0.0f64; 7];
+    if regs.rename_stalled {
+        w[Hazard::Other.index()] += 1.0;
+    }
+    for t in &regs.threads {
+        match t.state {
+            ThreadState::Idle
+            | ThreadState::Done
+            | ThreadState::Draining
+            | ThreadState::WaitingSync => {
+                // Parked threads waste their share of the cluster:
+                // spinning at barriers/locks (or gone).
+                w[Hazard::Sync.index()] += 1.0;
+            }
+            ThreadState::Running | ThreadState::WrongPath => {
+                if t.fifo.is_empty() {
+                    if now < t.redirect_until {
+                        w[Hazard::Control.index()] += 1.0;
+                    } else {
+                        w[Hazard::Fetch.index()] += 1.0;
+                    }
+                    continue;
+                }
+                let mut any_weight = false;
+                for &s in &t.fifo {
+                    let e = &win.entries[s as usize];
+                    match e.state {
+                        EState::Waiting => {
+                            any_weight = true;
+                            if e.wrong_path {
+                                w[Hazard::Control.index()] += 1.0;
+                                continue;
+                            }
+                            let mut waiting_mem = false;
+                            let mut waiting_data = false;
+                            for src in &e.srcs {
+                                if let SrcState::Wait(p) = src {
+                                    let prod = &win.entries[*p as usize];
+                                    if prod.op == OpClass::Load
+                                        && matches!(prod.state, EState::Exec { .. })
+                                    {
+                                        waiting_mem = true;
+                                    } else {
+                                        waiting_data = true;
+                                    }
+                                }
+                            }
+                            if waiting_mem {
+                                w[Hazard::Memory.index()] += 1.0;
+                            } else if waiting_data {
+                                w[Hazard::Data.index()] += 1.0;
+                            } else {
+                                // Ready but not issued: lack of FU or of
+                                // issue bandwidth.
+                                w[Hazard::Structural.index()] += 1.0;
+                            }
+                        }
+                        EState::Exec { .. } => {
+                            // An issued load still waiting on the memory
+                            // system keeps its slice of the machine busy:
+                            // charge it as a memory hazard, as the
+                            // paper's window scan does for instructions
+                            // held up by memory accesses.
+                            if e.op == OpClass::Load {
+                                w[Hazard::Memory.index()] += 1.0;
+                                any_weight = true;
+                            }
+                        }
+                        EState::Done => {}
+                    }
+                }
+                if !any_weight {
+                    // Window full of completed work awaiting retirement:
+                    // the structural limit is the window/retire
+                    // bandwidth itself.
+                    w[Hazard::Structural.index()] += 1.0;
+                }
+            }
+        }
+    }
+    regs.stats.record_cycle(cfg.issue_width, useful, wrong, &w);
+}
