@@ -64,7 +64,7 @@ fn bench_ablations(c: &mut Criterion) {
         g.bench_function(format!("ocean_smt2_4chip/{name}"), |b| {
             b.iter(|| {
                 black_box(simulate_with_mem(&app, ArchKind::Smt2, 4, SCALE, 7, cfg.clone()).cycles)
-            })
+            });
         });
     }
     g.finish();

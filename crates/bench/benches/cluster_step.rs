@@ -101,7 +101,7 @@ fn bench_cluster_step(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2));
     for (name, width, threads, n) in SCENARIOS {
         g.bench_function(name, |b| {
-            b.iter(|| black_box(run_cluster(width, threads, n)))
+            b.iter(|| black_box(run_cluster(width, threads, n)));
         });
     }
     g.finish();

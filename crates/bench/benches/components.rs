@@ -30,7 +30,7 @@ fn bench_cache(c: &mut Criterion) {
         b.iter(|| {
             let line = rng.below(1 << 14);
             black_box(cache.access(line, line.is_multiple_of(4)))
-        })
+        });
     });
     g.finish();
 }
@@ -41,7 +41,7 @@ fn bench_tlb(c: &mut Criterion) {
     g.bench_function("translate_512_entry", |b| {
         let mut tlb = Tlb::new(512, 3);
         let mut rng = SplitMix64::new(2);
-        b.iter(|| black_box(tlb.access(rng.below(2048))))
+        b.iter(|| black_box(tlb.access(rng.below(2048))));
     });
     g.finish();
 }
@@ -58,7 +58,7 @@ fn bench_bpred(c: &mut Criterion) {
             let pred = p.predict(pc);
             p.resolve(pc, taken, pc + 64, pred != taken);
             black_box(pred)
-        })
+        });
     });
     g.finish();
 }
@@ -77,7 +77,7 @@ fn bench_directory(c: &mut Criterion) {
             } else {
                 black_box(d.read(line, node))
             }
-        })
+        });
     });
     g.finish();
 }
@@ -99,7 +99,7 @@ fn bench_memory_system(c: &mut Criterion) {
                 AccessKind::Read
             };
             black_box(m.access(node, addr, kind, now))
-        })
+        });
     });
     g.finish();
 }
@@ -129,7 +129,7 @@ fn bench_cluster(c: &mut Criterion) {
                 cl.step(now, &mut mem, 0, &mut events);
             }
             black_box(cl.stats().committed)
-        })
+        });
     });
     g.finish();
 }

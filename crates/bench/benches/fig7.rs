@@ -18,7 +18,7 @@ fn bench_fig7(c: &mut Criterion) {
     for app in all_apps() {
         for arch in ArchKind::SMT_FIGURES {
             g.bench_function(format!("{}/{}", app.name, arch.name()), |b| {
-                b.iter(|| black_box(simulate(&app, arch, 1, SCALE, 7).cycles))
+                b.iter(|| black_box(simulate(&app, arch, 1, SCALE, 7).cycles));
             });
         }
     }

@@ -71,7 +71,7 @@ fn bench_probe_overhead(c: &mut Criterion) {
     let mut g = c.benchmark_group("probe_overhead");
     fast(&mut g);
     g.bench_function("null_probe", |b| {
-        b.iter(|| black_box(simulate(&app, ArchKind::Smt2, 1, SCALE, 7)))
+        b.iter(|| black_box(simulate(&app, ArchKind::Smt2, 1, SCALE, 7)));
     });
     g.bench_function("explicit_null_probe", |b| {
         // Must be identical to `null_probe`: same monomorphization.
@@ -85,14 +85,14 @@ fn bench_probe_overhead(c: &mut Criterion) {
                 mem(),
                 &mut NullProbe,
             ))
-        })
+        });
     });
     g.bench_function("counting_probe", |b| {
         b.iter(|| {
             let mut p = CountingProbe::default();
             let r = simulate_probed(&app, chip, 1, SCALE, 7, mem(), &mut p);
             black_box((r.cycles, p.insts, p.cache, p.cycles))
-        })
+        });
     });
     g.bench_function("interval_sampler_sink", |b| {
         b.iter(|| {
@@ -100,7 +100,7 @@ fn bench_probe_overhead(c: &mut Criterion) {
             let r = simulate_probed(&app, chip, 1, SCALE, 7, mem(), &mut p);
             p.finish().unwrap();
             black_box(r.cycles)
-        })
+        });
     });
     g.finish();
 }

@@ -13,6 +13,9 @@
 //!   capped at 200k instruction records per architecture).
 //! * `CSMT_TRACE_INTERVAL=<n>` — heartbeat interval in cycles
 //!   (default 1000).
+//! * `CSMT_VERIFY=1` — attach `csmt-verify`'s `InvariantProbe` to every
+//!   run (composes with tracing). On any invariant violation the first
+//!   ten reports are printed and the process exits with status 2.
 //!
 //! Always writes a machine-readable summary, `BENCH_diagnose.json`, into
 //! `CSMT_JSON_DIR` (or the current directory): per architecture the full
@@ -23,6 +26,7 @@ use std::path::PathBuf;
 use csmt_core::{ArchKind, RunResult};
 use csmt_cpu::Hazard;
 use csmt_trace::{IntervalSampler, PipeviewProbe, StatsRegistry};
+use csmt_verify::InvariantProbe;
 use csmt_workloads::{by_name, simulate_probed, AppSpec};
 use serde::Value;
 
@@ -39,6 +43,33 @@ fn trace_config() -> (Option<PathBuf>, u64) {
     (dir, interval)
 }
 
+fn verify_enabled() -> bool {
+    std::env::var_os("CSMT_VERIFY").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Drain an [`InvariantProbe`] after a run: print the clean summary, or
+/// the first violations and exit 2 — a diagnose sweep that breaks the
+/// machine's own invariants has nothing trustworthy to report.
+fn check_invariants(probe: InvariantProbe, arch: ArchKind) {
+    match probe.finish() {
+        Ok(s) => println!(
+            "      verify: clean ({} cycles, {} committed, {} events)",
+            s.cycles, s.committed, s.events
+        ),
+        Err(violations) => {
+            eprintln!(
+                "{}: {} invariant violation(s):",
+                arch.name(),
+                violations.len()
+            );
+            for v in violations.iter().take(10) {
+                eprintln!("  {v}");
+            }
+            std::process::exit(2);
+        }
+    }
+}
+
 fn run_one(
     app: &AppSpec,
     arch: ArchKind,
@@ -46,10 +77,13 @@ fn run_one(
     scale: f64,
     trace_dir: Option<&PathBuf>,
     interval: u64,
+    verify: bool,
 ) -> RunResult {
     let mem = csmt_mem::MemConfig::table3();
-    match trace_dir {
-        None => simulate_probed(
+    match (trace_dir, verify) {
+        // The plain path stays on `NullProbe`, compiling to the
+        // uninstrumented pipeline.
+        (None, false) => simulate_probed(
             app,
             arch.chip(),
             chips,
@@ -58,24 +92,38 @@ fn run_one(
             mem,
             &mut csmt_trace::NullProbe,
         ),
-        Some(dir) => {
+        (None, true) => {
+            let mut probe = InvariantProbe::new(&arch.chip(), chips);
+            let r = simulate_probed(app, arch.chip(), chips, scale, 1, mem, &mut probe);
+            check_invariants(probe, arch);
+            r
+        }
+        (Some(dir), verify) => {
             let mut probe = (
-                IntervalSampler::create(
-                    dir.join(format!("heartbeat_{}.jsonl", arch.name())),
-                    interval,
-                )
-                .expect("CSMT_TRACE_OUT must be writable"),
-                PipeviewProbe::with_limit(
-                    std::io::BufWriter::new(
-                        std::fs::File::create(dir.join(format!("pipeview_{}.trace", arch.name())))
+                (
+                    IntervalSampler::create(
+                        dir.join(format!("heartbeat_{}.jsonl", arch.name())),
+                        interval,
+                    )
+                    .expect("CSMT_TRACE_OUT must be writable"),
+                    PipeviewProbe::with_limit(
+                        std::io::BufWriter::new(
+                            std::fs::File::create(
+                                dir.join(format!("pipeview_{}.trace", arch.name())),
+                            )
                             .expect("CSMT_TRACE_OUT must be writable"),
+                        ),
+                        PIPEVIEW_MAX_RECORDS,
                     ),
-                    PIPEVIEW_MAX_RECORDS,
                 ),
+                verify.then(|| InvariantProbe::new(&arch.chip(), chips)),
             );
             let r = simulate_probed(app, arch.chip(), chips, scale, 1, mem, &mut probe);
-            probe.0.finish().expect("heartbeat flush");
-            probe.1.finish().expect("pipeview flush");
+            probe.0 .0.finish().expect("heartbeat flush");
+            probe.0 .1.finish().expect("pipeview flush");
+            if let Some(inv) = probe.1 {
+                check_invariants(inv, arch);
+            }
             r
         }
     }
@@ -102,6 +150,7 @@ fn main() {
     let chips: usize = csmt_bench::arg_or(3, 1);
     let app = by_name(&app_name).expect("unknown application");
     let (trace_dir, interval) = trace_config();
+    let verify = verify_enabled();
     if let Some(dir) = &trace_dir {
         std::fs::create_dir_all(dir).expect("CSMT_TRACE_OUT must be creatable");
     }
@@ -118,7 +167,15 @@ fn main() {
         ArchKind::Fa1,
         ArchKind::Smt2,
     ] {
-        let r = run_one(&app, arch, chips, scale, trace_dir.as_ref(), interval);
+        let r = run_one(
+            &app,
+            arch,
+            chips,
+            scale,
+            trace_dir.as_ref(),
+            interval,
+            verify,
+        );
         let b = r.breakdown();
         println!(
             "{:<5} cycles={:>8} ipc={:.2} useful={:.1}% mem={:.1}% data={:.1}% sync={:.1}% fetch={:.1}% struct={:.1}%",

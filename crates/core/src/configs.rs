@@ -164,7 +164,230 @@ impl ChipConfig {
         self.cluster = f(self.cluster);
         self
     }
+
+    /// Check this chip against the Table 2 partitioning rules: the
+    /// cluster count matches the kind, issue slots sum to
+    /// [`CHIP_ISSUE_WIDTH`], window/ROB entries and both renaming pools
+    /// partition the chip-wide 128 exactly, the FU mix matches the row
+    /// (6/4/4 for the 8-issue cluster, `w/w/w` otherwise), retirement
+    /// bandwidth equals issue width (§3.1), and the thread assignment is
+    /// total and disjoint (FA: exactly one context per cluster; SMT:
+    /// `width` contexts per cluster so the chip totals 8).
+    ///
+    /// Policy knobs (`fetch_policy`, `predictor`, `store_buffer`) are
+    /// deliberately unconstrained beyond non-emptiness — the ablation
+    /// binaries vary them without leaving Table 2.
+    ///
+    /// Returns every violation found, not just the first.
+    pub fn validate(&self) -> Result<(), Vec<ConfigError>> {
+        let mut errs = Vec::new();
+        let expected_clusters = match self.kind {
+            ArchKind::Fa8 | ArchKind::Smt8 => 8,
+            ArchKind::Fa4 | ArchKind::Smt4 => 4,
+            ArchKind::Fa2 | ArchKind::Smt2 => 2,
+            ArchKind::Fa1 | ArchKind::Smt1 => 1,
+        };
+        if self.clusters != expected_clusters {
+            errs.push(ConfigError::ClusterCount {
+                kind: self.kind,
+                expected: expected_clusters,
+                got: self.clusters,
+            });
+        }
+        let c = &self.cluster;
+        for (what, v) in [
+            ("issue_width", c.issue_width),
+            ("hw_threads", c.hw_threads),
+            ("window_entries", c.window_entries),
+            ("rename_int", c.rename_int),
+            ("rename_fp", c.rename_fp),
+            ("retire_width", c.retire_width),
+            ("store_buffer", c.store_buffer),
+        ] {
+            if v == 0 {
+                errs.push(ConfigError::ZeroResource { what });
+            }
+        }
+        if self.chip_issue_width() != CHIP_ISSUE_WIDTH {
+            errs.push(ConfigError::IssueSum {
+                got: self.chip_issue_width(),
+            });
+        }
+        let chip_window = CHIP_ISSUE_WIDTH * 16;
+        if self.clusters * c.window_entries != chip_window {
+            errs.push(ConfigError::WindowSum {
+                expected: chip_window,
+                got: self.clusters * c.window_entries,
+            });
+        }
+        for (pool, per_cluster) in [("int", c.rename_int), ("fp", c.rename_fp)] {
+            if self.clusters * per_cluster != chip_window {
+                errs.push(ConfigError::RenameSum {
+                    pool,
+                    expected: chip_window,
+                    got: self.clusters * per_cluster,
+                });
+            }
+        }
+        let expected_fus = if c.issue_width == 8 {
+            [6, 4, 4]
+        } else {
+            [c.issue_width; 3]
+        };
+        if c.fu_counts != expected_fus {
+            errs.push(ConfigError::FuCounts {
+                expected: expected_fus,
+                got: c.fu_counts,
+            });
+        }
+        if c.retire_width != c.issue_width {
+            errs.push(ConfigError::RetireWidth {
+                expected: c.issue_width,
+                got: c.retire_width,
+            });
+        }
+        // Thread assignment: FA runs each software thread on its own
+        // cluster (one context per cluster — more would overlap threads
+        // on a partitioned budget); clustered SMT gives each cluster
+        // `width` contexts so the chip totals 8. SMT8's single-context
+        // 1-wide clusters satisfy both readings (it *is* FA8, §5.2).
+        let expected_threads = match self.kind {
+            ArchKind::Fa8 | ArchKind::Fa4 | ArchKind::Fa2 | ArchKind::Fa1 => 1,
+            _ => c.issue_width,
+        };
+        if c.hw_threads != expected_threads {
+            errs.push(ConfigError::ThreadAssignment {
+                kind: self.kind,
+                expected: expected_threads,
+                got: c.hw_threads,
+            });
+        }
+        if errs.is_empty() {
+            Ok(())
+        } else {
+            Err(errs)
+        }
+    }
 }
+
+/// One way a [`ChipConfig`] departs from the Table 2 partitioning,
+/// reported by [`ChipConfig::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The cluster count is not the one Table 2 gives for this kind.
+    ClusterCount {
+        /// Which row was claimed.
+        kind: ArchKind,
+        /// Table 2's cluster count for that row.
+        expected: usize,
+        /// The configured count.
+        got: usize,
+    },
+    /// Chip issue slots don't sum to [`CHIP_ISSUE_WIDTH`].
+    IssueSum {
+        /// The configured `clusters × issue_width`.
+        got: usize,
+    },
+    /// Window/ROB entries don't partition the chip-wide budget exactly.
+    WindowSum {
+        /// The chip-wide budget (128).
+        expected: usize,
+        /// The configured `clusters × window_entries`.
+        got: usize,
+    },
+    /// A renaming pool doesn't partition the chip-wide budget exactly.
+    RenameSum {
+        /// Which pool (`"int"` or `"fp"`).
+        pool: &'static str,
+        /// The chip-wide budget (128).
+        expected: usize,
+        /// The configured `clusters × rename_*`.
+        got: usize,
+    },
+    /// A per-cluster resource is zero-sized (the cluster could never
+    /// dispatch or retire anything).
+    ZeroResource {
+        /// Which field.
+        what: &'static str,
+    },
+    /// The FU mix differs from the Table 2 row for this issue width.
+    FuCounts {
+        /// Table 2's `[int, ld/st, fp]` unit counts.
+        expected: [usize; 3],
+        /// The configured counts.
+        got: [usize; 3],
+    },
+    /// Retirement bandwidth must equal issue width (§3.1).
+    RetireWidth {
+        /// The cluster's issue width.
+        expected: usize,
+        /// The configured retire width.
+        got: usize,
+    },
+    /// The thread assignment is not total and disjoint for this kind.
+    ThreadAssignment {
+        /// Which row was claimed.
+        kind: ArchKind,
+        /// Contexts per cluster that row requires.
+        expected: usize,
+        /// The configured contexts per cluster.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ClusterCount {
+                kind,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{} requires {expected} clusters, config has {got}",
+                kind.name()
+            ),
+            ConfigError::IssueSum { got } => write!(
+                f,
+                "chip issue slots must sum to {CHIP_ISSUE_WIDTH}, config sums to {got}"
+            ),
+            ConfigError::WindowSum { expected, got } => write!(
+                f,
+                "window/ROB entries must partition the chip's {expected}, config sums to {got}"
+            ),
+            ConfigError::RenameSum {
+                pool,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{pool} renaming registers must partition the chip's {expected}, config sums to {got}"
+            ),
+            ConfigError::ZeroResource { what } => {
+                write!(f, "per-cluster {what} is zero")
+            }
+            ConfigError::FuCounts { expected, got } => write!(
+                f,
+                "FU mix must be {expected:?} for this width, config has {got:?}"
+            ),
+            ConfigError::RetireWidth { expected, got } => write!(
+                f,
+                "retire width must equal issue width {expected}, config has {got}"
+            ),
+            ConfigError::ThreadAssignment {
+                kind,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{} requires {expected} context(s) per cluster (total, disjoint), config has {got}",
+                kind.name()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 #[cfg(test)]
 mod tests {
@@ -227,5 +450,131 @@ mod tests {
         for k in ArchKind::FA_FIGURES.iter().chain(&ArchKind::SMT_FIGURES) {
             assert!(ArchKind::ALL.contains(k));
         }
+    }
+
+    #[test]
+    fn validate_accepts_every_table2_constructor() {
+        for kind in ArchKind::ALL {
+            assert_eq!(kind.chip().validate(), Ok(()), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn validate_accepts_policy_ablations() {
+        let c = ArchKind::Smt2
+            .chip()
+            .with_fetch_policy(csmt_cpu::FetchPolicy::ICount)
+            .with_cluster(|c| c.with_store_buffer(1));
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_fa_thread_assignment() {
+        // Two contexts on an FA cluster would put two software threads on
+        // one partitioned budget — the assignment is no longer disjoint.
+        let bad = ArchKind::Fa4.chip().with_cluster(|mut c| {
+            c.hw_threads = 2;
+            c
+        });
+        let errs = bad.validate().unwrap_err();
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            ConfigError::ThreadAssignment {
+                kind: ArchKind::Fa4,
+                expected: 1,
+                got: 2,
+            }
+        )));
+    }
+
+    #[test]
+    fn validate_rejects_budget_sums_off_the_8_wide_totals() {
+        // Halve the per-cluster window: the chip no longer partitions 128.
+        let bad = ArchKind::Smt2.chip().with_cluster(|mut c| {
+            c.window_entries = 32;
+            c
+        });
+        let errs = bad.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ConfigError::WindowSum { got: 64, .. })));
+
+        // Wrong cluster count for the kind: both the count and the issue
+        // sum are off.
+        let bad = ChipConfig {
+            kind: ArchKind::Smt2,
+            clusters: 3,
+            cluster: ClusterConfig::for_width(4, 4),
+        };
+        let errs = bad.validate().unwrap_err();
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            ConfigError::ClusterCount {
+                expected: 2,
+                got: 3,
+                ..
+            }
+        )));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ConfigError::IssueSum { got: 12 })));
+    }
+
+    #[test]
+    fn validate_rejects_zero_size_rename_pools() {
+        let bad = ArchKind::Fa2.chip().with_cluster(|mut c| {
+            c.rename_fp = 0;
+            c
+        });
+        let errs = bad.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ConfigError::ZeroResource { what: "rename_fp" })));
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            ConfigError::RenameSum {
+                pool: "fp",
+                got: 0,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_fu_mix_and_retire_width() {
+        let bad = ArchKind::Smt1.chip().with_cluster(|mut c| {
+            c.fu_counts = [8, 8, 8];
+            c.retire_width = 4;
+            c
+        });
+        let errs = bad.validate().unwrap_err();
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            ConfigError::FuCounts {
+                expected: [6, 4, 4],
+                got: [8, 8, 8],
+            }
+        )));
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            ConfigError::RetireWidth {
+                expected: 8,
+                got: 4,
+            }
+        )));
+    }
+
+    #[test]
+    fn config_errors_render_readably() {
+        let bad = ArchKind::Fa8.chip().with_cluster(|mut c| {
+            c.rename_int = 0;
+            c
+        });
+        let errs = bad.validate().unwrap_err();
+        let text: Vec<String> = errs.iter().map(ToString::to_string).collect();
+        assert!(
+            text.iter().any(|s| s.contains("rename_int is zero")),
+            "{text:?}"
+        );
     }
 }

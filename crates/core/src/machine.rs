@@ -199,7 +199,7 @@ impl Machine {
             .chips
             .iter()
             .flat_map(|c| c.clusters.iter())
-            .map(|cl| cl.running_threads())
+            .map(csmt_cpu::Cluster::running_threads)
             .sum();
         self.running_thread_cycles += running as u64;
         self.cycle += 1;
@@ -235,7 +235,7 @@ impl Machine {
             || self
                 .chips
                 .iter()
-                .any(|c| c.clusters.iter().any(|cl| cl.busy()))
+                .any(|c| c.clusters.iter().any(csmt_cpu::Cluster::busy))
     }
 
     /// Run to completion (or `max_cycles`), returning the collected result.

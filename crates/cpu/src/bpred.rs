@@ -9,10 +9,8 @@
 //! whose target is absent from the BTB cannot be fetched past, which the
 //! pipeline treats like a misprediction (fetch resumes at resolution).
 
-/// 2-bit saturating counter states. `saturating_sub` already floors at the
-/// strong-not-taken state (0), so only the other three appear in code.
-#[allow(dead_code)]
-const STRONG_NT: u8 = 0;
+/// 2-bit saturating counter states. Strong-not-taken is the implicit
+/// floor (0) that `saturating_sub` clamps to, so it needs no name.
 const WEAK_NT: u8 = 1;
 const WEAK_T: u8 = 2;
 const STRONG_T: u8 = 3;

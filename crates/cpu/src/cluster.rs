@@ -23,7 +23,7 @@ use crate::pipeline::{commit, fetch, regs};
 use crate::stats::SlotStats;
 use csmt_isa::{InstStream, SyncOp};
 use csmt_mem::MemorySystem;
-use csmt_trace::{NullProbe, Probe};
+use csmt_trace::{NullProbe, Probe, RenamePoolEvent};
 
 pub use crate::pipeline::regs::ThreadState;
 
@@ -216,5 +216,31 @@ impl Cluster {
             cluster_id,
         );
         regs::account(&self.cfg, &mut self.regs, &self.win, now, useful, wrong);
+        if P::WANTS_POOL_STATS {
+            // Snapshot register conservation at the cycle boundary: every
+            // allocated renaming register is held by exactly one valid
+            // window entry with a destination (fetch allocates before
+            // install; release returns it on both commit and squash).
+            let (mut int_held, mut fp_held) = (0u32, 0u32);
+            for e in &self.win.entries {
+                if e.valid {
+                    if let Some(d) = e.dest {
+                        if d.is_fp() {
+                            fp_held += 1;
+                        } else {
+                            int_held += 1;
+                        }
+                    }
+                }
+            }
+            probe.rename_pools(RenamePoolEvent {
+                cycle: now,
+                cluster: cluster_id,
+                int_free: self.rename.int_free as u32,
+                fp_free: self.rename.fp_free as u32,
+                int_held,
+                fp_held,
+            });
+        }
     }
 }

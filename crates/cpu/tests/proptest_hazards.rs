@@ -138,7 +138,7 @@ fn legend_order_is_dense_and_labels_unique() {
     assert_eq!(Hazard::ALL.len(), 7);
     let mut labels = Vec::new();
     for (i, h) in Hazard::ALL.iter().enumerate() {
-        assert_eq!(h.index(), i, "{:?} out of legend order", h);
+        assert_eq!(h.index(), i, "{h:?} out of legend order");
         assert_eq!(h.label(), csmt_trace::HAZARD_LABELS[i]);
         labels.push(h.label());
     }

@@ -33,7 +33,10 @@ pub enum LookupResult {
     Hit,
     /// Line absent; it has been filled. Carries the evicted victim, if the
     /// victim was valid, and whether it was dirty (needs writeback).
-    Miss { evicted: Option<Victim> },
+    Miss {
+        /// The valid line this fill displaced, if any.
+        evicted: Option<Victim>,
+    },
 }
 
 /// An evicted line.

@@ -44,7 +44,10 @@ pub enum Service {
     RemoteMem,
     /// Dirty line in another node's L2: cache-to-cache transfer. The owner
     /// field tells the hierarchy whose L2 to downgrade/invalidate.
-    RemoteL2 { owner: usize },
+    RemoteL2 {
+        /// Node whose L2 holds the dirty line.
+        owner: usize,
+    },
     /// No data movement needed (silent E→M upgrade by the owner).
     None,
 }

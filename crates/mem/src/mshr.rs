@@ -12,10 +12,16 @@ pub enum MshrOutcome {
     /// New entry allocated; the caller must perform the downstream access.
     /// Carries the time at which the entry became available (≥ request time
     /// if the file was full and the request had to queue for a slot).
-    Primary { start: u64 },
+    Primary {
+        /// Time the entry became available.
+        start: u64,
+    },
     /// Merged with an in-flight miss to the same line; completes at the
     /// primary's completion time.
-    Secondary { complete_at: u64 },
+    Secondary {
+        /// Completion time inherited from the primary miss.
+        complete_at: u64,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]

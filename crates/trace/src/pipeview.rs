@@ -61,7 +61,14 @@ pub struct PipeviewProbe<W: Write = BufWriter<File>> {
 impl PipeviewProbe<BufWriter<File>> {
     /// Create a probe writing to the file at `path`, unlimited records.
     pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
-        Ok(Self::new(BufWriter::new(File::create(path)?)))
+        let path = path.as_ref();
+        let file = File::create(path).map_err(|e| {
+            io::Error::new(
+                e.kind(),
+                format!("creating pipeview trace {}: {e}", path.display()),
+            )
+        })?;
+        Ok(Self::new(BufWriter::new(file)))
     }
 }
 
@@ -212,7 +219,7 @@ mod tests {
 
     fn lines(buf: Vec<u8>) -> Vec<String> {
         String::from_utf8(buf)
-            .unwrap()
+            .expect("trace output is UTF-8")
             .lines()
             .map(String::from)
             .collect()
@@ -227,7 +234,7 @@ mod tests {
             p.issue(stage(0, 7, 12));
             p.writeback(stage(0, 7, 14));
             p.commit(stage(0, 7, 15));
-            p.finish().unwrap();
+            p.finish().expect("in-memory trace cannot hit I/O errors");
         }
         let ls = lines(buf);
         assert_eq!(ls.len(), 7);
@@ -245,7 +252,7 @@ mod tests {
             let mut p = PipeviewProbe::new(&mut buf);
             p.fetch(fetch(2, 3, 5));
             p.squash(stage(2, 3, 6)); // never issued
-            p.finish().unwrap();
+            p.finish().expect("in-memory trace cannot hit I/O errors");
         }
         let ls = lines(buf);
         // issue/complete clamp to the fetch tick; retire tick 0 marks
@@ -274,11 +281,14 @@ mod tests {
                     p.commit(stage(0, uid, uid + 6));
                 }
             }
-            p.finish().unwrap();
+            p.finish().expect("in-memory trace cannot hit I/O errors");
         }
         let ls = lines(buf);
         for rec in ls.chunks(7) {
-            let tick = |l: &str| l.split(':').nth(2).unwrap().parse::<u64>().unwrap();
+            let tick = |l: &str| {
+                let field = l.split(':').nth(2).expect("records have a tick field");
+                field.parse::<u64>().expect("tick fields are integers")
+            };
             let seq = [tick(&rec[0]), tick(&rec[2]), tick(&rec[4]), tick(&rec[5])];
             assert!(
                 seq.windows(2).all(|w| w[0] <= w[1]),
@@ -300,7 +310,7 @@ mod tests {
             }
             assert_eq!(p.records_written(), 2);
             assert!(p.inflight.is_empty());
-            p.finish().unwrap();
+            p.finish().expect("in-memory trace cannot hit I/O errors");
         }
         assert_eq!(lines(buf).len(), 14);
     }
@@ -314,7 +324,7 @@ mod tests {
             p.fetch(fetch(1, 9, 2));
             p.commit(stage(1, 9, 4));
             p.commit(stage(0, 9, 5));
-            p.finish().unwrap();
+            p.finish().expect("in-memory trace cannot hit I/O errors");
         }
         let ls = lines(buf);
         assert_eq!(ls.len(), 14);

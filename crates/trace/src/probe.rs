@@ -122,6 +122,31 @@ pub struct SyncEvent {
     pub kind: SyncEventKind,
 }
 
+/// End-of-cycle snapshot of one cluster's renaming-register pools (Table 2
+/// budgets), emitted only when [`Probe::WANTS_POOL_STATS`] is set.
+///
+/// `free` counts registers in the free pool; `held` counts registers bound
+/// to destinations of valid instruction-window entries. Register
+/// conservation (`free + held == capacity`, per file) holds at every
+/// snapshot — `csmt-verify`'s `InvariantProbe` checks exactly that.
+/// Building the snapshot costs a pass over the window, which is why it
+/// sits behind its own wants-flag (default **off**, unlike the others).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RenamePoolEvent {
+    /// Cycle the snapshot was taken (end of this cycle's pipeline phases).
+    pub cycle: u64,
+    /// Machine-global cluster index.
+    pub cluster: u32,
+    /// Integer renaming registers currently free.
+    pub int_free: u32,
+    /// FP renaming registers currently free.
+    pub fp_free: u32,
+    /// Integer registers held by valid window entries.
+    pub int_held: u32,
+    /// FP registers held by valid window entries.
+    pub fp_held: u32,
+}
+
 /// Cumulative machine-level counters snapshotted at the end of a cycle.
 ///
 /// All fields are running totals since cycle 0 (except
@@ -183,6 +208,11 @@ pub trait Probe {
     /// [`cycle_end`](Probe::cycle_end). Building the snapshot costs a
     /// pass over the clusters' stats, so it is gated separately.
     const WANTS_CYCLE_STATS: bool = true;
+    /// Wants per-cluster [`RenamePoolEvent`] snapshots each cycle.
+    /// Defaults to `false` (unlike the other flags): the snapshot needs a
+    /// pass over the instruction window, and only invariant checkers
+    /// care. Existing probes keep their event streams bit-for-bit.
+    const WANTS_POOL_STATS: bool = false;
 
     /// Instruction fetched into a cluster's instruction window.
     #[inline]
@@ -208,6 +238,10 @@ pub trait Probe {
     /// Runtime synchronization event.
     #[inline]
     fn sync_event(&mut self, _e: SyncEvent) {}
+    /// Per-cluster rename-pool snapshot at the end of a cycle. Emitted
+    /// only when [`WANTS_POOL_STATS`](Probe::WANTS_POOL_STATS) is set.
+    #[inline]
+    fn rename_pools(&mut self, _e: RenamePoolEvent) {}
     /// End of a machine cycle. `stats` is `Some` iff
     /// [`WANTS_CYCLE_STATS`](Probe::WANTS_CYCLE_STATS).
     #[inline]
@@ -225,12 +259,14 @@ impl Probe for NullProbe {
     const WANTS_INST_EVENTS: bool = false;
     const WANTS_CACHE_EVENTS: bool = false;
     const WANTS_CYCLE_STATS: bool = false;
+    const WANTS_POOL_STATS: bool = false;
 }
 
 impl<P: Probe + ?Sized> Probe for &mut P {
     const WANTS_INST_EVENTS: bool = P::WANTS_INST_EVENTS;
     const WANTS_CACHE_EVENTS: bool = P::WANTS_CACHE_EVENTS;
     const WANTS_CYCLE_STATS: bool = P::WANTS_CYCLE_STATS;
+    const WANTS_POOL_STATS: bool = P::WANTS_POOL_STATS;
 
     #[inline]
     fn fetch(&mut self, e: FetchEvent) {
@@ -265,6 +301,10 @@ impl<P: Probe + ?Sized> Probe for &mut P {
         (**self).sync_event(e);
     }
     #[inline]
+    fn rename_pools(&mut self, e: RenamePoolEvent) {
+        (**self).rename_pools(e);
+    }
+    #[inline]
     fn cycle_end(&mut self, cycle: u64, stats: Option<&CycleStats>) {
         (**self).cycle_end(cycle, stats);
     }
@@ -277,6 +317,7 @@ impl<P: Probe> Probe for Option<P> {
     const WANTS_INST_EVENTS: bool = P::WANTS_INST_EVENTS;
     const WANTS_CACHE_EVENTS: bool = P::WANTS_CACHE_EVENTS;
     const WANTS_CYCLE_STATS: bool = P::WANTS_CYCLE_STATS;
+    const WANTS_POOL_STATS: bool = P::WANTS_POOL_STATS;
 
     #[inline]
     fn fetch(&mut self, e: FetchEvent) {
@@ -327,6 +368,12 @@ impl<P: Probe> Probe for Option<P> {
         }
     }
     #[inline]
+    fn rename_pools(&mut self, e: RenamePoolEvent) {
+        if let Some(p) = self {
+            p.rename_pools(e);
+        }
+    }
+    #[inline]
     fn cycle_end(&mut self, cycle: u64, stats: Option<&CycleStats>) {
         if let Some(p) = self {
             p.cycle_end(cycle, stats);
@@ -339,6 +386,7 @@ impl<A: Probe, B: Probe> Probe for (A, B) {
     const WANTS_INST_EVENTS: bool = A::WANTS_INST_EVENTS || B::WANTS_INST_EVENTS;
     const WANTS_CACHE_EVENTS: bool = A::WANTS_CACHE_EVENTS || B::WANTS_CACHE_EVENTS;
     const WANTS_CYCLE_STATS: bool = A::WANTS_CYCLE_STATS || B::WANTS_CYCLE_STATS;
+    const WANTS_POOL_STATS: bool = A::WANTS_POOL_STATS || B::WANTS_POOL_STATS;
 
     #[inline]
     fn fetch(&mut self, e: FetchEvent) {
@@ -379,6 +427,11 @@ impl<A: Probe, B: Probe> Probe for (A, B) {
     fn sync_event(&mut self, e: SyncEvent) {
         self.0.sync_event(e);
         self.1.sync_event(e);
+    }
+    #[inline]
+    fn rename_pools(&mut self, e: RenamePoolEvent) {
+        self.0.rename_pools(e);
+        self.1.rename_pools(e);
     }
     #[inline]
     fn cycle_end(&mut self, cycle: u64, stats: Option<&CycleStats>) {
@@ -428,9 +481,44 @@ mod tests {
         ]
     }
 
+    /// The pool-stats flag of `P`, materialized as a runtime value.
+    fn wants_pool<P: Probe>() -> bool {
+        P::WANTS_POOL_STATS
+    }
+
     #[test]
     fn null_probe_wants_nothing() {
         assert_eq!(wants::<NullProbe>(), [false; 3]);
+        assert!(!wants_pool::<NullProbe>());
+    }
+
+    #[test]
+    fn pool_stats_flag_defaults_off_and_propagates() {
+        // `Counter` does not override the flag, so the default (`false`)
+        // applies — existing probes keep their event streams unchanged.
+        assert!(!wants_pool::<Counter>());
+        assert!(!wants_pool::<(Counter, NullProbe)>());
+
+        struct PoolWatcher(u32);
+        impl Probe for PoolWatcher {
+            const WANTS_POOL_STATS: bool = true;
+            fn rename_pools(&mut self, _e: RenamePoolEvent) {
+                self.0 += 1;
+            }
+        }
+        assert!(wants_pool::<(NullProbe, PoolWatcher)>());
+        assert!(wants_pool::<&mut PoolWatcher>());
+        assert!(wants_pool::<Option<PoolWatcher>>());
+        let mut pair = (NullProbe, PoolWatcher(0));
+        pair.rename_pools(RenamePoolEvent {
+            cycle: 1,
+            cluster: 0,
+            int_free: 10,
+            fp_free: 12,
+            int_held: 6,
+            fp_held: 4,
+        });
+        assert_eq!(pair.1 .0, 1);
     }
 
     #[test]

@@ -41,7 +41,14 @@ pub struct IntervalSampler<W: Write = BufWriter<File>> {
 impl IntervalSampler<BufWriter<File>> {
     /// Create a sampler writing JSONL to the file at `path`.
     pub fn create(path: impl AsRef<Path>, interval: u64) -> io::Result<Self> {
-        Ok(Self::new(BufWriter::new(File::create(path)?), interval))
+        let path = path.as_ref();
+        let file = File::create(path).map_err(|e| {
+            io::Error::new(
+                e.kind(),
+                format!("creating heartbeat file {}: {e}", path.display()),
+            )
+        })?;
+        Ok(Self::new(BufWriter::new(file), interval))
     }
 }
 
@@ -203,12 +210,12 @@ mod tests {
                 let st = snap(c + 1);
                 s.cycle_end(c, Some(&st));
             }
-            s.finish().unwrap();
+            s.finish().expect("in-memory sampler cannot hit I/O errors");
         }
         String::from_utf8(buf)
-            .unwrap()
+            .expect("sampler output is UTF-8 JSONL")
             .lines()
-            .map(|l| serde_json::from_str(l).unwrap())
+            .map(|l| serde_json::from_str(l).expect("each heartbeat line parses as JSON"))
             .collect()
     }
 
@@ -235,9 +242,11 @@ mod tests {
     #[test]
     fn fractions_sum_to_one_per_interval() {
         for r in run_sampler(64, 200) {
-            let mut sum = r["useful_frac"].as_f64().unwrap();
+            let mut sum = r["useful_frac"].as_f64().expect("useful_frac is a float");
             for label in HAZARD_LABELS {
-                sum += r["wasted_frac"][label].as_f64().unwrap();
+                sum += r["wasted_frac"][label]
+                    .as_f64()
+                    .expect("every hazard label has a float fraction");
             }
             assert!((sum - 1.0).abs() < 1e-9, "fractions sum to {sum}");
         }
@@ -248,9 +257,12 @@ mod tests {
         let recs = run_sampler(77, 500);
         let useful: f64 = recs
             .iter()
-            .map(|r| r["useful_slots"].as_f64().unwrap())
+            .map(|r| r["useful_slots"].as_f64().expect("useful_slots is a float"))
             .sum();
-        let slots: u64 = recs.iter().map(|r| r["slots"].as_u64().unwrap()).sum();
+        let slots: u64 = recs
+            .iter()
+            .map(|r| r["slots"].as_u64().expect("slots is an integer"))
+            .sum();
         let fin = snap(500);
         assert!((useful - fin.useful).abs() < 1e-6);
         assert_eq!(slots, fin.slots);
@@ -261,8 +273,10 @@ mod tests {
         let recs = run_sampler(100, 100);
         assert_eq!(recs.len(), 1);
         let r = &recs[0];
-        assert!((r["ipc"].as_f64().unwrap() - 2.0).abs() < 1e-9);
-        assert!((r["l1_miss_rate"].as_f64().unwrap() - 0.5).abs() < 1e-9);
+        let ipc = r["ipc"].as_f64().expect("ipc is a float");
+        assert!((ipc - 2.0).abs() < 1e-9);
+        let miss = r["l1_miss_rate"].as_f64().expect("l1_miss_rate is a float");
+        assert!((miss - 0.5).abs() < 1e-9);
         assert_eq!(r["running_threads"].as_u64(), Some(3));
     }
 }

@@ -1,0 +1,864 @@
+//! The [`InvariantProbe`]: a [`Probe`] that re-derives the pipeline's
+//! structural state from the event stream and checks, cycle by cycle, that
+//! the machine never leaves the envelope the paper's Table 2 budgets and
+//! §3.1/§4.1 semantics define.
+//!
+//! Checked invariants (see DESIGN.md §10 for the paper citations):
+//!
+//! * **Lifecycle order** — every `(cluster, uid)` moves strictly through
+//!   fetch → rename → issue → writeback → commit (or is squashed after
+//!   rename), with no stage repeated, skipped, or applied to a retired or
+//!   never-fetched instruction.
+//! * **In-order commit** — per `(cluster, hardware thread)`, committed
+//!   uids are strictly increasing (§3.1: "instructions are committed on a
+//!   per-thread basis", in order).
+//! * **Window occupancy** — in-flight instructions per cluster never
+//!   exceed the Table 2 IQ/ROB entry budget.
+//! * **Issue width** — per cluster per cycle, issue events never exceed
+//!   the cluster's issue width.
+//! * **Rename conservation** — per cluster and register file,
+//!   `free + held == pool` at every end-of-cycle snapshot
+//!   ([`RenamePoolEvent`], emitted when `WANTS_POOL_STATS`).
+//! * **Store-buffer bound** — committed stores still in flight per node
+//!   never exceed `clusters/chip × store_buffer`.
+//! * **Slot conservation** — `useful + Σ wasted == slots` in every
+//!   [`CycleStats`] snapshot (§4.1 accounting), and the cumulative
+//!   counters advance monotonically with the right per-cycle slot delta.
+//! * **Drain** — at end of run, `fetched == committed + squashed` and no
+//!   instruction is left in flight.
+//! * **Cluster confinement** — no event references a cluster the machine
+//!   does not have, or an instruction its cluster never fetched (the
+//!   observable signature of a wakeup crossing a cluster boundary).
+
+use csmt_core::ChipConfig;
+use csmt_trace::{CacheEvent, CycleStats, FetchEvent, Probe, RenamePoolEvent, StageEvent};
+use std::collections::HashMap;
+use std::fmt;
+
+/// What the checker does when an invariant breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Record every violation (up to a cap) and keep simulating; the
+    /// caller inspects [`InvariantProbe::finish`].
+    #[default]
+    CollectAll,
+    /// Panic on the first violation with its full report — the simulation
+    /// stops at the offending cycle, which is the cheapest way to land a
+    /// debugger there.
+    FailFast,
+}
+
+/// The class of invariant a [`Violation`] broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViolationKind {
+    /// A cluster held more in-flight instructions than its Table 2
+    /// IQ/ROB budget.
+    WindowOverflow,
+    /// A rename-pool snapshot where `free + held != pool`.
+    RenameConservation,
+    /// More committed-but-in-flight stores on a node than its clusters'
+    /// store buffers can hold.
+    StoreBufferOverflow,
+    /// More issue events in one cluster-cycle than the issue width.
+    IssueWidthExceeded,
+    /// A hardware thread committed a lower uid after a higher one.
+    OutOfOrderCommit,
+    /// A stage event out of fetch → rename → issue → writeback →
+    /// commit/squash order (skipped, repeated, or after retirement).
+    LifecycleOrder,
+    /// An event referencing a cluster/node outside the machine, or an
+    /// instruction its cluster never fetched — a wakeup or event that
+    /// crossed a cluster boundary.
+    CrossCluster,
+    /// A [`CycleStats`] snapshot where `useful + Σ wasted != slots`.
+    SlotConservation,
+    /// Cumulative [`CycleStats`] counters that regressed, skipped, or
+    /// disagree with the observed event stream.
+    StatsRegression,
+    /// An instruction fetched but neither committed nor squashed by the
+    /// end of the run.
+    LeakedInstruction,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// One invariant violation, with enough context to localize it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which invariant broke.
+    pub kind: ViolationKind,
+    /// Cycle of the offending event (or last cycle, for drain checks).
+    pub cycle: u64,
+    /// Machine-global cluster index, when the event carries one.
+    pub cluster: Option<u32>,
+    /// Hardware context within the cluster, when known.
+    pub thread: Option<u32>,
+    /// Cluster-local instruction uid, when the event carries one.
+    pub uid: Option<u64>,
+    /// Human-readable specifics (observed vs. budget, stage seen, …).
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] cycle {}", self.kind, self.cycle)?;
+        if let Some(c) = self.cluster {
+            write!(f, " cluster {c}")?;
+        }
+        if let Some(t) = self.thread {
+            write!(f, " thread {t}")?;
+        }
+        if let Some(u) = self.uid {
+            write!(f, " uid {u}")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+/// Totals reported by [`InvariantProbe::finish`] on a clean run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifySummary {
+    /// Machine cycles observed (cycle_end calls).
+    pub cycles: u64,
+    /// Instructions fetched, summed over clusters (wrong path included).
+    pub fetched: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Instructions squashed.
+    pub squashed: u64,
+    /// Probe events processed.
+    pub events: u64,
+}
+
+/// Where an in-flight instruction is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    Fetched,
+    Renamed,
+    Issued,
+    Done,
+}
+
+impl Stage {
+    fn label(self) -> &'static str {
+        match self {
+            Stage::Fetched => "fetched",
+            Stage::Renamed => "renamed",
+            Stage::Issued => "issued",
+            Stage::Done => "written back",
+        }
+    }
+}
+
+/// Mirror of one cluster's architectural occupancy, rebuilt from events.
+struct ClusterState {
+    window_cap: usize,
+    issue_width: usize,
+    rename_int: u64,
+    rename_fp: u64,
+    hw_threads: u32,
+    /// uid → (stage, hardware thread).
+    inflight: HashMap<u64, (Stage, u32)>,
+    /// Highest uid fetched so far (uids are dense and start at 1).
+    last_fetch_uid: u64,
+    /// Last committed uid per hardware thread (0 = none yet).
+    last_commit: Vec<u64>,
+    /// Cycle the issue counter below belongs to.
+    issue_cycle: u64,
+    issued_this_cycle: usize,
+    fetched: u64,
+    committed: u64,
+    squashed: u64,
+}
+
+/// Mirror of one node's store buffer: completed-store drain times.
+struct NodeState {
+    cap: usize,
+    pending: Vec<u64>,
+}
+
+/// The invariant checker. Attach it (alone or in a probe tuple) to any
+/// `*_probed` entry point, run the simulation, then call
+/// [`finish`](InvariantProbe::finish).
+pub struct InvariantProbe {
+    mode: Mode,
+    clusters: Vec<ClusterState>,
+    nodes: Vec<NodeState>,
+    /// Issue slots the whole machine offers per cycle.
+    machine_slots: u64,
+    thread_capacity: u32,
+    prev_stats: Option<CycleStats>,
+    commit_events: u64,
+    cycles: u64,
+    last_cycle: u64,
+    events: u64,
+    violations: Vec<Violation>,
+    /// Violations beyond the cap, counted but not stored.
+    dropped: u64,
+}
+
+/// Cap on stored violations in [`Mode::CollectAll`]; a genuinely broken
+/// pipeline violates invariants every cycle, and the first few are the
+/// informative ones.
+const MAX_STORED: usize = 1024;
+
+impl InvariantProbe {
+    /// A checker for `n_chips` chips of configuration `chip`, in
+    /// [`Mode::CollectAll`].
+    pub fn new(chip: &ChipConfig, n_chips: usize) -> Self {
+        let c = &chip.cluster;
+        let clusters = (0..chip.clusters * n_chips)
+            .map(|_| ClusterState {
+                window_cap: c.window_entries,
+                issue_width: c.issue_width,
+                rename_int: c.rename_int as u64,
+                rename_fp: c.rename_fp as u64,
+                hw_threads: c.hw_threads as u32,
+                inflight: HashMap::new(),
+                last_fetch_uid: 0,
+                last_commit: vec![0; c.hw_threads],
+                issue_cycle: u64::MAX,
+                issued_this_cycle: 0,
+                fetched: 0,
+                committed: 0,
+                squashed: 0,
+            })
+            .collect();
+        let nodes = (0..n_chips)
+            .map(|_| NodeState {
+                cap: chip.clusters * c.store_buffer,
+                pending: Vec::new(),
+            })
+            .collect();
+        InvariantProbe {
+            mode: Mode::CollectAll,
+            clusters,
+            nodes,
+            machine_slots: (chip.chip_issue_width() * n_chips) as u64,
+            thread_capacity: (chip.threads_per_chip() * n_chips) as u32,
+            prev_stats: None,
+            commit_events: 0,
+            cycles: 0,
+            last_cycle: 0,
+            events: 0,
+            violations: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// The same checker in [`Mode::FailFast`]: panic at the first
+    /// violation instead of collecting.
+    pub fn fail_fast(mut self) -> Self {
+        self.mode = Mode::FailFast;
+        self
+    }
+
+    /// Violations recorded so far (empty on a clean run).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// True while no invariant has broken.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.dropped == 0
+    }
+
+    /// Run the end-of-run drain checks and consume the checker: `Ok` with
+    /// run totals when every invariant held, `Err` with the collected
+    /// violations otherwise.
+    pub fn finish(mut self) -> Result<VerifySummary, Vec<Violation>> {
+        let last = self.last_cycle;
+        for (i, c) in self.clusters.iter().enumerate() {
+            if !c.inflight.is_empty() {
+                let mut uids: Vec<u64> = c.inflight.keys().copied().collect();
+                uids.sort_unstable();
+                uids.truncate(4);
+                let v = Violation {
+                    kind: ViolationKind::LeakedInstruction,
+                    cycle: last,
+                    cluster: Some(i as u32),
+                    thread: None,
+                    uid: uids.first().copied(),
+                    detail: format!(
+                        "{} instruction(s) still in flight at drain (first uids {uids:?})",
+                        c.inflight.len()
+                    ),
+                };
+                self.violations.push(v);
+            }
+            if c.fetched != c.committed + c.squashed {
+                let v = Violation {
+                    kind: ViolationKind::LeakedInstruction,
+                    cycle: last,
+                    cluster: Some(i as u32),
+                    thread: None,
+                    uid: None,
+                    detail: format!(
+                        "fetched {} != committed {} + squashed {}",
+                        c.fetched, c.committed, c.squashed
+                    ),
+                };
+                self.violations.push(v);
+            }
+        }
+        if self.violations.is_empty() && self.dropped == 0 {
+            Ok(VerifySummary {
+                cycles: self.cycles,
+                fetched: self.clusters.iter().map(|c| c.fetched).sum(),
+                committed: self.clusters.iter().map(|c| c.committed).sum(),
+                squashed: self.clusters.iter().map(|c| c.squashed).sum(),
+                events: self.events,
+            })
+        } else {
+            Err(self.violations)
+        }
+    }
+
+    fn record(&mut self, v: Violation) {
+        match self.mode {
+            Mode::FailFast => panic!("invariant violation: {v}"),
+            Mode::CollectAll => {
+                if self.violations.len() < MAX_STORED {
+                    self.violations.push(v);
+                } else {
+                    self.dropped += 1;
+                }
+            }
+        }
+    }
+
+    /// Bounds-check a cluster index; records [`ViolationKind::CrossCluster`]
+    /// and returns `None` when it points outside the machine.
+    fn cluster_checked(&mut self, cycle: u64, cluster: u32, uid: Option<u64>) -> Option<usize> {
+        if (cluster as usize) < self.clusters.len() {
+            Some(cluster as usize)
+        } else {
+            let n = self.clusters.len();
+            self.record(Violation {
+                kind: ViolationKind::CrossCluster,
+                cycle,
+                cluster: Some(cluster),
+                thread: None,
+                uid,
+                detail: format!("event references cluster {cluster}, machine has {n}"),
+            });
+            None
+        }
+    }
+
+    /// Look up an in-flight instruction for a stage event, flagging
+    /// orphans: a uid above the cluster's fetch horizon was never fetched
+    /// *here* (the signature of a cross-cluster wakeup); one at or below
+    /// it has already retired.
+    fn stage_state(&mut self, stage: &'static str, e: StageEvent) -> Option<(usize, Stage, u32)> {
+        let ci = self.cluster_checked(e.cycle, e.cluster, Some(e.uid))?;
+        let c = &self.clusters[ci];
+        if let Some(&(stage_now, thread)) = c.inflight.get(&e.uid) {
+            return Some((ci, stage_now, thread));
+        }
+        let v = if e.uid > c.last_fetch_uid || e.uid == 0 {
+            Violation {
+                kind: ViolationKind::CrossCluster,
+                cycle: e.cycle,
+                cluster: Some(e.cluster),
+                thread: None,
+                uid: Some(e.uid),
+                detail: format!(
+                    "{stage} of an instruction this cluster never fetched \
+                     (fetch horizon {}) — wakeup across a cluster boundary?",
+                    c.last_fetch_uid
+                ),
+            }
+        } else {
+            Violation {
+                kind: ViolationKind::LifecycleOrder,
+                cycle: e.cycle,
+                cluster: Some(e.cluster),
+                thread: None,
+                uid: Some(e.uid),
+                detail: format!("{stage} of an already-retired instruction"),
+            }
+        };
+        self.record(v);
+        None
+    }
+}
+
+impl Probe for InvariantProbe {
+    const WANTS_INST_EVENTS: bool = true;
+    const WANTS_CACHE_EVENTS: bool = true;
+    const WANTS_CYCLE_STATS: bool = true;
+    const WANTS_POOL_STATS: bool = true;
+
+    fn fetch(&mut self, e: FetchEvent) {
+        self.events += 1;
+        let Some(ci) = self.cluster_checked(e.cycle, e.cluster, Some(e.uid)) else {
+            return;
+        };
+        let hw = self.clusters[ci].hw_threads;
+        if e.thread >= hw {
+            self.record(Violation {
+                kind: ViolationKind::CrossCluster,
+                cycle: e.cycle,
+                cluster: Some(e.cluster),
+                thread: Some(e.thread),
+                uid: Some(e.uid),
+                detail: format!("fetch for context {} of {hw}", e.thread),
+            });
+            return;
+        }
+        let last = self.clusters[ci].last_fetch_uid;
+        if e.uid <= last {
+            self.record(Violation {
+                kind: ViolationKind::LifecycleOrder,
+                cycle: e.cycle,
+                cluster: Some(e.cluster),
+                thread: Some(e.thread),
+                uid: Some(e.uid),
+                detail: format!("fetch uid not strictly increasing (last was {last})"),
+            });
+            return;
+        }
+        let c = &mut self.clusters[ci];
+        c.last_fetch_uid = e.uid;
+        c.fetched += 1;
+        c.inflight.insert(e.uid, (Stage::Fetched, e.thread));
+        let (occ, cap) = (c.inflight.len(), c.window_cap);
+        if occ > cap {
+            self.record(Violation {
+                kind: ViolationKind::WindowOverflow,
+                cycle: e.cycle,
+                cluster: Some(e.cluster),
+                thread: Some(e.thread),
+                uid: Some(e.uid),
+                detail: format!("window occupancy {occ} exceeds Table 2 budget {cap}"),
+            });
+        }
+    }
+
+    fn rename(&mut self, e: StageEvent) {
+        self.events += 1;
+        let Some((ci, stage, thread)) = self.stage_state("rename", e) else {
+            return;
+        };
+        if stage == Stage::Fetched {
+            self.clusters[ci]
+                .inflight
+                .insert(e.uid, (Stage::Renamed, thread));
+        } else {
+            self.record(Violation {
+                kind: ViolationKind::LifecycleOrder,
+                cycle: e.cycle,
+                cluster: Some(e.cluster),
+                thread: Some(thread),
+                uid: Some(e.uid),
+                detail: format!("rename of an instruction already {}", stage.label()),
+            });
+        }
+    }
+
+    fn issue(&mut self, e: StageEvent) {
+        self.events += 1;
+        let Some((ci, stage, thread)) = self.stage_state("issue", e) else {
+            return;
+        };
+        let c = &mut self.clusters[ci];
+        if e.cycle != c.issue_cycle {
+            c.issue_cycle = e.cycle;
+            c.issued_this_cycle = 0;
+        }
+        c.issued_this_cycle += 1;
+        let (n, w) = (c.issued_this_cycle, c.issue_width);
+        if n > w {
+            self.record(Violation {
+                kind: ViolationKind::IssueWidthExceeded,
+                cycle: e.cycle,
+                cluster: Some(e.cluster),
+                thread: Some(thread),
+                uid: Some(e.uid),
+                detail: format!("{n} issues in one cycle on a {w}-issue cluster"),
+            });
+        }
+        if stage == Stage::Renamed {
+            self.clusters[ci]
+                .inflight
+                .insert(e.uid, (Stage::Issued, thread));
+        } else {
+            self.record(Violation {
+                kind: ViolationKind::LifecycleOrder,
+                cycle: e.cycle,
+                cluster: Some(e.cluster),
+                thread: Some(thread),
+                uid: Some(e.uid),
+                detail: format!("issue of an instruction already {}", stage.label()),
+            });
+        }
+    }
+
+    fn writeback(&mut self, e: StageEvent) {
+        self.events += 1;
+        let Some((ci, stage, thread)) = self.stage_state("writeback", e) else {
+            return;
+        };
+        if stage == Stage::Issued {
+            self.clusters[ci]
+                .inflight
+                .insert(e.uid, (Stage::Done, thread));
+        } else {
+            self.record(Violation {
+                kind: ViolationKind::LifecycleOrder,
+                cycle: e.cycle,
+                cluster: Some(e.cluster),
+                thread: Some(thread),
+                uid: Some(e.uid),
+                detail: format!("writeback of an instruction {}", stage.label()),
+            });
+        }
+    }
+
+    fn commit(&mut self, e: StageEvent) {
+        self.events += 1;
+        self.commit_events += 1;
+        let Some((ci, stage, thread)) = self.stage_state("commit", e) else {
+            return;
+        };
+        if stage != Stage::Done {
+            self.record(Violation {
+                kind: ViolationKind::LifecycleOrder,
+                cycle: e.cycle,
+                cluster: Some(e.cluster),
+                thread: Some(thread),
+                uid: Some(e.uid),
+                detail: format!("commit of an instruction only {}", stage.label()),
+            });
+        }
+        let c = &mut self.clusters[ci];
+        c.inflight.remove(&e.uid);
+        c.committed += 1;
+        let last = c.last_commit[thread as usize];
+        if e.uid <= last {
+            self.record(Violation {
+                kind: ViolationKind::OutOfOrderCommit,
+                cycle: e.cycle,
+                cluster: Some(e.cluster),
+                thread: Some(thread),
+                uid: Some(e.uid),
+                detail: format!("commit after uid {last} of the same thread"),
+            });
+        } else {
+            self.clusters[ci].last_commit[thread as usize] = e.uid;
+        }
+    }
+
+    fn squash(&mut self, e: StageEvent) {
+        self.events += 1;
+        let Some((ci, _stage, _thread)) = self.stage_state("squash", e) else {
+            return;
+        };
+        let c = &mut self.clusters[ci];
+        c.inflight.remove(&e.uid);
+        c.squashed += 1;
+    }
+
+    fn cache_access(&mut self, e: CacheEvent) {
+        self.events += 1;
+        if (e.node as usize) >= self.nodes.len() {
+            let n = self.nodes.len();
+            self.record(Violation {
+                kind: ViolationKind::CrossCluster,
+                cycle: e.cycle,
+                cluster: None,
+                thread: None,
+                uid: None,
+                detail: format!("cache access on node {}, machine has {n}", e.node),
+            });
+            return;
+        }
+        if e.complete_at < e.cycle {
+            self.record(Violation {
+                kind: ViolationKind::LifecycleOrder,
+                cycle: e.cycle,
+                cluster: None,
+                thread: None,
+                uid: None,
+                detail: format!(
+                    "access completes at {} before it starts at {}",
+                    e.complete_at, e.cycle
+                ),
+            });
+        }
+        if !e.write {
+            return;
+        }
+        // Mirror the store buffers' drain rule: entries with
+        // `complete_at <= now` leave at the next commit phase.
+        let node = &mut self.nodes[e.node as usize];
+        node.pending.retain(|&t| t > e.cycle);
+        node.pending.push(e.complete_at);
+        let (occ, cap) = (node.pending.len(), node.cap);
+        if occ > cap {
+            self.record(Violation {
+                kind: ViolationKind::StoreBufferOverflow,
+                cycle: e.cycle,
+                cluster: None,
+                thread: None,
+                uid: None,
+                detail: format!(
+                    "{occ} committed stores in flight on node {}, buffers hold {cap}",
+                    e.node
+                ),
+            });
+        }
+    }
+
+    fn sync_event(&mut self, e: csmt_trace::SyncEvent) {
+        self.events += 1;
+        if e.thread >= self.thread_capacity {
+            let cap = self.thread_capacity;
+            self.record(Violation {
+                kind: ViolationKind::CrossCluster,
+                cycle: e.cycle,
+                cluster: None,
+                thread: Some(e.thread),
+                uid: None,
+                detail: format!("sync event for software thread {} of {cap}", e.thread),
+            });
+        }
+    }
+
+    fn rename_pools(&mut self, e: RenamePoolEvent) {
+        self.events += 1;
+        let Some(ci) = self.cluster_checked(e.cycle, e.cluster, None) else {
+            return;
+        };
+        let c = &self.clusters[ci];
+        for (file, free, held, pool) in [
+            ("int", e.int_free, e.int_held, c.rename_int),
+            ("fp", e.fp_free, e.fp_held, c.rename_fp),
+        ] {
+            if u64::from(free) + u64::from(held) != pool {
+                self.record(Violation {
+                    kind: ViolationKind::RenameConservation,
+                    cycle: e.cycle,
+                    cluster: Some(e.cluster),
+                    thread: None,
+                    uid: None,
+                    detail: format!(
+                        "{file} rename registers: {free} free + {held} held != pool of {pool}"
+                    ),
+                });
+            }
+        }
+    }
+
+    fn cycle_end(&mut self, cycle: u64, stats: Option<&CycleStats>) {
+        self.events += 1;
+        self.cycles += 1;
+        self.last_cycle = cycle;
+        let Some(s) = stats else { return };
+        let wasted: f64 = s.wasted.iter().sum();
+        let total = s.useful + wasted;
+        let tol = 1e-6 * (s.slots.max(1) as f64);
+        if (total - s.slots as f64).abs() > tol {
+            self.record(Violation {
+                kind: ViolationKind::SlotConservation,
+                cycle,
+                cluster: None,
+                thread: None,
+                uid: None,
+                detail: format!(
+                    "useful {:.3} + wasted {:.3} != {} slots offered",
+                    s.useful, wasted, s.slots
+                ),
+            });
+        }
+        if s.committed != self.commit_events {
+            let seen = self.commit_events;
+            self.record(Violation {
+                kind: ViolationKind::StatsRegression,
+                cycle,
+                cluster: None,
+                thread: None,
+                uid: None,
+                detail: format!(
+                    "stats say {} committed, event stream delivered {seen}",
+                    s.committed
+                ),
+            });
+        }
+        if s.running_threads > self.thread_capacity {
+            let cap = self.thread_capacity;
+            self.record(Violation {
+                kind: ViolationKind::StatsRegression,
+                cycle,
+                cluster: None,
+                thread: None,
+                uid: None,
+                detail: format!("{} running threads, capacity {cap}", s.running_threads),
+            });
+        }
+        if let Some(p) = self.prev_stats {
+            let mut bad: Vec<String> = Vec::new();
+            if s.cycles != p.cycles + 1 {
+                bad.push(format!("cycles {} -> {}", p.cycles, s.cycles));
+            }
+            if s.slots != p.slots + self.machine_slots {
+                bad.push(format!(
+                    "slots {} -> {} (machine offers {}/cycle)",
+                    p.slots, s.slots, self.machine_slots
+                ));
+            }
+            if s.useful + 1e-9 < p.useful {
+                bad.push(format!("useful {} -> {}", p.useful, s.useful));
+            }
+            for (name, prev, now) in [
+                ("committed", p.committed, s.committed),
+                ("accesses", p.accesses, s.accesses),
+                ("l1_hits", p.l1_hits, s.l1_hits),
+                ("l2_hits", p.l2_hits, s.l2_hits),
+                ("tlb_misses", p.tlb_misses, s.tlb_misses),
+            ] {
+                if now < prev {
+                    bad.push(format!("{name} {prev} -> {now}"));
+                }
+            }
+            for detail in bad {
+                self.record(Violation {
+                    kind: ViolationKind::StatsRegression,
+                    cycle,
+                    cluster: None,
+                    thread: None,
+                    uid: None,
+                    detail: format!("cumulative counter went backwards: {detail}"),
+                });
+            }
+        }
+        self.prev_stats = Some(*s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csmt_core::ArchKind;
+
+    fn probe() -> InvariantProbe {
+        InvariantProbe::new(&ArchKind::Smt2.chip(), 1)
+    }
+
+    fn fetch(cycle: u64, cluster: u32, thread: u32, uid: u64) -> FetchEvent {
+        FetchEvent {
+            cycle,
+            cluster,
+            thread,
+            uid,
+            pc: 0x1000 + uid * 4,
+            op: csmt_isa::OpClass::IntAlu,
+            wrong_path: false,
+        }
+    }
+
+    fn stage(cycle: u64, cluster: u32, uid: u64) -> StageEvent {
+        StageEvent {
+            cycle,
+            cluster,
+            uid,
+        }
+    }
+
+    /// Push one instruction through its full legal lifecycle.
+    fn retire(p: &mut InvariantProbe, cycle: u64, uid: u64) {
+        p.fetch(fetch(cycle, 0, 0, uid));
+        p.rename(stage(cycle, 0, uid));
+        p.issue(stage(cycle + 1, 0, uid));
+        p.writeback(stage(cycle + 2, 0, uid));
+        p.commit(stage(cycle + 3, 0, uid));
+    }
+
+    #[test]
+    fn clean_lifecycle_is_clean() {
+        let mut p = probe();
+        retire(&mut p, 1, 1);
+        retire(&mut p, 2, 2);
+        assert!(p.is_clean(), "{:?}", p.violations());
+        let s = p.finish().expect("clean");
+        assert_eq!((s.fetched, s.committed, s.squashed), (2, 2, 0));
+    }
+
+    #[test]
+    fn squash_resolves_an_instruction() {
+        let mut p = probe();
+        p.fetch(fetch(1, 0, 0, 1));
+        p.rename(stage(1, 0, 1));
+        p.squash(stage(2, 0, 1));
+        assert!(p.finish().is_ok());
+    }
+
+    #[test]
+    fn out_of_order_commit_is_flagged() {
+        let mut p = probe();
+        for uid in [1u64, 2] {
+            p.fetch(fetch(1, 0, 0, uid));
+            p.rename(stage(1, 0, uid));
+            p.issue(stage(2, 0, uid));
+            p.writeback(stage(3, 0, uid));
+        }
+        p.commit(stage(4, 0, 2));
+        p.commit(stage(4, 0, 1));
+        assert_eq!(p.violations()[0].kind, ViolationKind::OutOfOrderCommit);
+    }
+
+    #[test]
+    fn never_fetched_uid_reads_as_cross_cluster() {
+        let mut p = probe();
+        p.issue(stage(1, 0, 99));
+        assert_eq!(p.violations()[0].kind, ViolationKind::CrossCluster);
+    }
+
+    #[test]
+    fn skipped_stage_is_flagged() {
+        let mut p = probe();
+        p.fetch(fetch(1, 0, 0, 1));
+        p.rename(stage(1, 0, 1));
+        p.commit(stage(2, 0, 1)); // no issue/writeback
+        assert_eq!(p.violations()[0].kind, ViolationKind::LifecycleOrder);
+    }
+
+    #[test]
+    fn leaked_instruction_caught_at_drain() {
+        let mut p = probe();
+        p.fetch(fetch(1, 0, 0, 1));
+        p.rename(stage(1, 0, 1));
+        let errs = p.finish().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|v| v.kind == ViolationKind::LeakedInstruction));
+    }
+
+    #[test]
+    fn rename_conservation_checked_per_file() {
+        let mut p = probe();
+        p.rename_pools(RenamePoolEvent {
+            cycle: 5,
+            cluster: 1,
+            int_free: 60,
+            fp_free: 64,
+            int_held: 4,
+            fp_held: 1, // 64 free + 1 held != 64
+        });
+        let v = &p.violations()[0];
+        assert_eq!(v.kind, ViolationKind::RenameConservation);
+        assert!(v.detail.contains("fp"), "{v}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant violation")]
+    fn fail_fast_panics_on_first_violation() {
+        let mut p = probe().fail_fast();
+        p.commit(stage(1, 0, 7));
+    }
+}

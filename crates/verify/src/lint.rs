@@ -1,0 +1,387 @@
+//! Static linting of workload instruction streams.
+//!
+//! The synthetic workload generators (`csmt-workloads`) hand the pipeline
+//! plain [`DynInst`] sequences; nothing type-level stops a generator bug
+//! from emitting a register outside the 32-entry files, a branch whose
+//! target no static instruction owns, or a lock release without a
+//! matching acquire — all of which would silently skew the timing model
+//! rather than crash. These checks run the streams *without* the
+//! simulator and report such defects, with severities chosen so that
+//! legitimate workload idioms (live-in registers seeded before the
+//! stream, barrier counts that differ because a thread exits early) stay
+//! warnings while definite generator bugs are errors.
+
+use csmt_isa::reg::{NUM_FP_REGS, NUM_INT_REGS};
+use csmt_isa::{ArchReg, DynInst, InstStream, OpClass, SyncOp};
+use csmt_workloads::{build_streams, AppParams, AppSpec};
+use std::collections::HashMap;
+use std::fmt;
+
+/// How bad a [`LintIssue`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LintSeverity {
+    /// Suspicious but legal — the simulator tolerates it.
+    Warning,
+    /// A malformed stream: the generator has a bug.
+    Error,
+}
+
+/// The class of defect a [`LintIssue`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LintKind {
+    /// A register index at or beyond the 32-entry architectural file.
+    RegOutOfRange,
+    /// An instruction whose payload doesn't match its op class (memory
+    /// op without an address, branch without an outcome, sync marker
+    /// without an operation — or the payload present on the wrong op).
+    MalformedPayload,
+    /// A taken-branch target outside the stream's static PC span.
+    BranchTargetOutOfRange,
+    /// A lock released by a thread that doesn't hold it.
+    LockUnderflow,
+    /// A lock still held when the stream ends.
+    LockHeldAtEnd,
+    /// Instructions after the thread's `Exit` marker (never fetched).
+    CodeAfterExit,
+    /// A source register never written by the stream — a live-in (legal,
+    /// the pipeline treats it as ready) or a dataflow bug.
+    DanglingSource,
+    /// Threads arrive at a barrier id different numbers of times. Legal
+    /// (the runtime discounts exited threads) but worth eyes.
+    BarrierImbalance,
+}
+
+/// One defect found in a workload stream.
+#[derive(Debug, Clone)]
+pub struct LintIssue {
+    /// Error or warning.
+    pub severity: LintSeverity,
+    /// Defect class.
+    pub kind: LintKind,
+    /// Stream (thread) index the issue was found in, if per-thread.
+    pub thread: Option<usize>,
+    /// PC of the offending instruction, when one instruction is at fault.
+    pub pc: Option<u64>,
+    /// Human-readable specifics.
+    pub message: String,
+}
+
+impl fmt::Display for LintIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            LintSeverity::Warning => "warning",
+            LintSeverity::Error => "error",
+        };
+        write!(f, "{sev}[{:?}]", self.kind)?;
+        if let Some(t) = self.thread {
+            write!(f, " thread {t}")?;
+        }
+        if let Some(pc) = self.pc {
+            write!(f, " pc {pc:#x}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+impl LintIssue {
+    /// True for [`LintSeverity::Error`] issues.
+    pub fn is_error(&self) -> bool {
+        self.severity == LintSeverity::Error
+    }
+}
+
+fn reg_in_range(r: ArchReg) -> bool {
+    match r {
+        ArchReg::Int(i) => i < NUM_INT_REGS,
+        ArchReg::Fp(i) => i < NUM_FP_REGS,
+    }
+}
+
+/// Lint one thread's materialized instruction stream.
+pub fn lint_stream(thread: usize, insts: &[DynInst]) -> Vec<LintIssue> {
+    let mut issues = Vec::new();
+    let mut issue = |severity, kind, pc: Option<u64>, message: String| {
+        issues.push(LintIssue {
+            severity,
+            kind,
+            thread: Some(thread),
+            pc,
+            message,
+        });
+    };
+    if insts.is_empty() {
+        return issues;
+    }
+    let span_min = insts.iter().map(|i| i.pc).min().unwrap_or(0);
+    let span_max = insts.iter().map(|i| i.pc).max().unwrap_or(0);
+    // Registers the stream ever writes (any destination counts).
+    let mut written = [false; ArchReg::COUNT];
+    for i in insts {
+        if let Some(d) = i.dest.filter(|d| reg_in_range(*d)) {
+            written[d.flat_index()] = true;
+        }
+    }
+    let mut dangling_reported = [false; ArchReg::COUNT];
+    let mut lock_depth: HashMap<u32, u32> = HashMap::new();
+    let mut exited_at: Option<u64> = None;
+    for inst in insts {
+        if let Some(pc) = exited_at {
+            issue(
+                LintSeverity::Error,
+                LintKind::CodeAfterExit,
+                Some(inst.pc),
+                format!("instruction after the Exit at {pc:#x} can never be fetched"),
+            );
+            break; // one report per stream is enough
+        }
+        for r in inst.dest.iter().chain(inst.srcs.iter().flatten()) {
+            if !reg_in_range(*r) {
+                issue(
+                    LintSeverity::Error,
+                    LintKind::RegOutOfRange,
+                    Some(inst.pc),
+                    format!("register {r:?} outside the 32-entry file"),
+                );
+            }
+        }
+        for src in inst.srcs.iter().flatten() {
+            if reg_in_range(*src)
+                && !src.is_zero()
+                && !written[src.flat_index()]
+                && !dangling_reported[src.flat_index()]
+            {
+                dangling_reported[src.flat_index()] = true;
+                issue(
+                    LintSeverity::Warning,
+                    LintKind::DanglingSource,
+                    Some(inst.pc),
+                    format!("source {src:?} is never written by this stream (live-in?)"),
+                );
+            }
+        }
+        if inst.op.is_mem() != inst.mem.is_some() {
+            issue(
+                LintSeverity::Error,
+                LintKind::MalformedPayload,
+                Some(inst.pc),
+                format!("{:?} and memory payload disagree", inst.op),
+            );
+        } else if let Some(m) = inst.mem {
+            if !matches!(m.size, 4 | 8) {
+                issue(
+                    LintSeverity::Warning,
+                    LintKind::MalformedPayload,
+                    Some(inst.pc),
+                    format!("unusual access size {} (workloads use 4 or 8)", m.size),
+                );
+            }
+        }
+        if inst.op.is_branch() != inst.branch.is_some() {
+            issue(
+                LintSeverity::Error,
+                LintKind::MalformedPayload,
+                Some(inst.pc),
+                format!("{:?} and branch payload disagree", inst.op),
+            );
+        } else if let Some(b) = inst.branch {
+            if b.target < span_min || b.target > span_max {
+                issue(
+                    LintSeverity::Error,
+                    LintKind::BranchTargetOutOfRange,
+                    Some(inst.pc),
+                    format!(
+                        "target {:#x} outside the stream's static span {span_min:#x}..={span_max:#x}",
+                        b.target
+                    ),
+                );
+            }
+        }
+        if (inst.op == OpClass::Sync) != inst.sync.is_some() {
+            issue(
+                LintSeverity::Error,
+                LintKind::MalformedPayload,
+                Some(inst.pc),
+                format!("{:?} and sync payload disagree", inst.op),
+            );
+        }
+        match inst.sync {
+            Some(SyncOp::LockAcquire(id)) => {
+                *lock_depth.entry(id).or_insert(0) += 1;
+            }
+            Some(SyncOp::LockRelease(id)) => {
+                let depth = lock_depth.entry(id).or_insert(0);
+                if *depth == 0 {
+                    issue(
+                        LintSeverity::Error,
+                        LintKind::LockUnderflow,
+                        Some(inst.pc),
+                        format!("release of lock {id} the thread does not hold"),
+                    );
+                } else {
+                    *depth -= 1;
+                }
+            }
+            Some(SyncOp::Exit) => exited_at = Some(inst.pc),
+            Some(SyncOp::Barrier(_)) | None => {}
+        }
+    }
+    let mut held: Vec<u32> = lock_depth
+        .iter()
+        .filter(|(_, &d)| d > 0)
+        .map(|(&id, _)| id)
+        .collect();
+    held.sort_unstable();
+    for id in held {
+        issue(
+            LintSeverity::Warning,
+            LintKind::LockHeldAtEnd,
+            None,
+            format!("lock {id} still held when the stream ends"),
+        );
+    }
+    issues
+}
+
+/// Lint a group of threads together: every per-stream check, plus
+/// cross-thread barrier balance (each barrier id should be reached the
+/// same number of times by every thread that reaches it at all).
+pub fn lint_threads(streams: &[Vec<DynInst>]) -> Vec<LintIssue> {
+    let mut issues = Vec::new();
+    for (tid, insts) in streams.iter().enumerate() {
+        issues.extend(lint_stream(tid, insts));
+    }
+    // barrier id → per-thread arrival counts.
+    let mut arrivals: HashMap<u32, Vec<u64>> = HashMap::new();
+    for (tid, insts) in streams.iter().enumerate() {
+        for inst in insts {
+            if let Some(SyncOp::Barrier(id)) = inst.sync {
+                let counts = arrivals.entry(id).or_insert_with(|| vec![0; streams.len()]);
+                counts[tid] += 1;
+            }
+        }
+    }
+    let mut ids: Vec<u32> = arrivals.keys().copied().collect();
+    ids.sort_unstable();
+    for id in ids {
+        let counts = &arrivals[&id];
+        let participants: Vec<u64> = counts.iter().copied().filter(|&c| c > 0).collect();
+        if participants.windows(2).any(|w| w[0] != w[1]) {
+            issues.push(LintIssue {
+                severity: LintSeverity::Warning,
+                kind: LintKind::BarrierImbalance,
+                thread: None,
+                pc: None,
+                message: format!("barrier {id} arrival counts differ across threads: {counts:?}"),
+            });
+        }
+    }
+    issues
+}
+
+/// Drain an [`InstStream`] into a vector, stopping at `cap` instructions.
+/// Returns the instructions and whether the cap truncated the stream.
+pub fn materialize(mut stream: Box<dyn InstStream + Send>, cap: usize) -> (Vec<DynInst>, bool) {
+    let mut v = Vec::new();
+    while v.len() < cap {
+        match stream.next_inst() {
+            Some(i) => v.push(i),
+            None => return (v, false),
+        }
+    }
+    (v, true)
+}
+
+/// Build and lint every thread stream of one application at the given
+/// footprint. `cap` bounds instructions materialized per thread.
+pub fn lint_app(
+    app: &AppSpec,
+    n_threads: usize,
+    scale: f64,
+    seed: u64,
+    cap: usize,
+) -> Vec<LintIssue> {
+    let params = AppParams::new(n_threads, 1, scale, seed);
+    let streams: Vec<Vec<DynInst>> = build_streams(app, &params)
+        .into_iter()
+        .map(|s| materialize(s, cap).0)
+        .collect();
+    lint_threads(&streams)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alu(pc: u64, dest: u8, src: u8) -> DynInst {
+        DynInst::alu(
+            pc,
+            OpClass::IntAlu,
+            Some(ArchReg::Int(dest)),
+            [Some(ArchReg::Int(src)), None],
+        )
+    }
+
+    #[test]
+    fn clean_block_lints_clean() {
+        let insts = vec![alu(0x100, 1, 0), alu(0x104, 2, 1)];
+        assert!(lint_stream(0, &insts).is_empty());
+    }
+
+    #[test]
+    fn out_of_range_register_is_an_error() {
+        let insts = vec![alu(0x100, 40, 1)];
+        let issues = lint_stream(0, &insts);
+        assert!(issues
+            .iter()
+            .any(|i| i.kind == LintKind::RegOutOfRange && i.is_error()));
+    }
+
+    #[test]
+    fn dangling_source_is_a_warning_reported_once() {
+        let insts = vec![alu(0x100, 1, 7), alu(0x104, 2, 7)];
+        let issues = lint_stream(0, &insts);
+        let dangling: Vec<_> = issues
+            .iter()
+            .filter(|i| i.kind == LintKind::DanglingSource)
+            .collect();
+        assert_eq!(dangling.len(), 1);
+        assert!(!dangling[0].is_error());
+    }
+
+    #[test]
+    fn branch_target_outside_span_is_an_error() {
+        let b = DynInst::branch(0x104, true, 0x9000, [None, None]);
+        let insts = vec![alu(0x100, 1, 0), b];
+        let issues = lint_stream(0, &insts);
+        assert!(issues
+            .iter()
+            .any(|i| i.kind == LintKind::BranchTargetOutOfRange && i.is_error()));
+    }
+
+    #[test]
+    fn lock_release_without_acquire_is_an_error() {
+        let rel = DynInst::sync(0x100, SyncOp::LockRelease(3));
+        let issues = lint_stream(0, &[rel]);
+        assert!(issues
+            .iter()
+            .any(|i| i.kind == LintKind::LockUnderflow && i.is_error()));
+    }
+
+    #[test]
+    fn code_after_exit_is_an_error() {
+        let insts = vec![DynInst::sync(0x100, SyncOp::Exit), alu(0x104, 1, 0)];
+        let issues = lint_stream(0, &insts);
+        assert!(issues
+            .iter()
+            .any(|i| i.kind == LintKind::CodeAfterExit && i.is_error()));
+    }
+
+    #[test]
+    fn unbalanced_barriers_are_flagged_across_threads() {
+        let b = |pc| DynInst::sync(pc, SyncOp::Barrier(1));
+        let t0 = vec![b(0x100), b(0x104)];
+        let t1 = vec![b(0x100)];
+        let issues = lint_threads(&[t0, t1]);
+        assert!(issues.iter().any(|i| i.kind == LintKind::BarrierImbalance));
+    }
+}

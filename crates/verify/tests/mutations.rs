@@ -1,0 +1,329 @@
+//! Mutation tests: seed one fault at a time into the event stream between
+//! the simulator and the [`InvariantProbe`], and assert the checker
+//! reports the violation kind that fault was designed to trip. A checker
+//! that passes the golden run but misses these mutations is vacuous —
+//! this is the test of the tests.
+//!
+//! The [`FaultInjector`] is a probe wrapper: it forwards every event to an
+//! inner `InvariantProbe`, except that the armed fault fires once at its
+//! trigger point (duplicating, dropping, reordering, or corrupting an
+//! event). Faults may knock on secondary violations (a dropped commit also
+//! leaks the instruction at drain, a held commit desynchronizes the
+//! per-cycle committed counter); each test therefore asserts the *target*
+//! kind is present, not that it is alone.
+
+use csmt_core::{ArchKind, ChipConfig};
+use csmt_mem::MemConfig;
+use csmt_trace::{CacheEvent, CycleStats, FetchEvent, Probe, RenamePoolEvent, StageEvent};
+use csmt_verify::{InvariantProbe, VerifySummary, Violation, ViolationKind};
+use csmt_workloads::{by_name, simulate_probed};
+use std::collections::HashMap;
+
+/// Seed shared with the figure binaries and golden tests.
+const SEED: u64 = 0xC5_317;
+const SCALE: f64 = 0.05;
+
+/// Which single fault to seed into the event stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fault {
+    /// Forward everything untouched (control run — must be clean).
+    None,
+    /// Inject a burst of phantom fetches past the window budget.
+    PhantomFetchBurst,
+    /// Report one fewer free integer rename register than reality.
+    RenamePoolSkew,
+    /// Hold a commit and release it after a later same-thread commit.
+    CommitSwap,
+    /// Replay an issue event relabeled to a cluster the machine lacks.
+    ClusterRelabel,
+    /// Add a slot to one hazard bucket of a `CycleStats` snapshot.
+    SlotSkim,
+    /// Deliver the same commit event twice.
+    DoubleCommit,
+    /// Replay an issue event until the cluster's width is exceeded.
+    IssueBurst,
+    /// Swallow a commit event entirely.
+    CommitDrop,
+    /// Inject phantom committed stores past the node's buffer capacity.
+    StoreFlood,
+    /// Rewind the cumulative committed counter by one.
+    StatsRewind,
+}
+
+/// Probe wrapper that forwards to an [`InvariantProbe`], firing `fault`
+/// exactly once at its trigger point.
+struct FaultInjector {
+    inner: InvariantProbe,
+    fault: Fault,
+    /// True until the fault has fired.
+    armed: bool,
+    /// Per-cluster window budget (phantom-fetch burst size).
+    window_cap: usize,
+    /// Per-cluster issue width (issue-burst size).
+    issue_width: usize,
+    /// Per-node store-buffer capacity (store-flood size).
+    store_cap: usize,
+    /// Total clusters in the machine (for the out-of-range relabel).
+    n_clusters: u32,
+    /// Cluster-0 uid → hardware thread, from fetch events (for the swap).
+    threads: HashMap<u64, u32>,
+    held_commit: Option<StageEvent>,
+}
+
+impl FaultInjector {
+    fn new(chip: &ChipConfig, n_chips: usize, fault: Fault) -> Self {
+        FaultInjector {
+            inner: InvariantProbe::new(chip, n_chips),
+            fault,
+            armed: fault != Fault::None,
+            window_cap: chip.cluster.window_entries,
+            issue_width: chip.cluster.issue_width,
+            store_cap: chip.clusters * chip.cluster.store_buffer,
+            n_clusters: (chip.clusters * n_chips) as u32,
+            threads: HashMap::new(),
+            held_commit: None,
+        }
+    }
+
+    /// Flush any held event, assert the fault actually fired, and run the
+    /// inner checker's drain.
+    fn finish(mut self) -> Result<VerifySummary, Vec<Violation>> {
+        if let Some(h) = self.held_commit.take() {
+            self.inner.commit(h);
+        }
+        assert!(
+            !self.armed,
+            "fault {:?} never reached its trigger point",
+            self.fault
+        );
+        self.inner.finish()
+    }
+}
+
+impl Probe for FaultInjector {
+    const WANTS_INST_EVENTS: bool = true;
+    const WANTS_CACHE_EVENTS: bool = true;
+    const WANTS_CYCLE_STATS: bool = true;
+    const WANTS_POOL_STATS: bool = true;
+
+    fn fetch(&mut self, e: FetchEvent) {
+        if e.cluster == 0 {
+            self.threads.insert(e.uid, e.thread);
+        }
+        self.inner.fetch(e);
+        if self.armed && self.fault == Fault::PhantomFetchBurst && e.cluster == 0 {
+            self.armed = false;
+            for i in 0..=self.window_cap as u64 {
+                self.inner.fetch(FetchEvent {
+                    uid: 1_000_000 + i,
+                    ..e
+                });
+            }
+        }
+    }
+
+    fn rename(&mut self, e: StageEvent) {
+        self.inner.rename(e);
+    }
+
+    fn issue(&mut self, e: StageEvent) {
+        self.inner.issue(e);
+        if self.armed {
+            match self.fault {
+                Fault::ClusterRelabel => {
+                    self.armed = false;
+                    self.inner.issue(StageEvent {
+                        cluster: self.n_clusters,
+                        ..e
+                    });
+                }
+                Fault::IssueBurst if e.cluster == 0 => {
+                    self.armed = false;
+                    for _ in 0..self.issue_width {
+                        self.inner.issue(e);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn writeback(&mut self, e: StageEvent) {
+        self.inner.writeback(e);
+    }
+
+    fn commit(&mut self, e: StageEvent) {
+        if self.armed && e.cluster == 0 {
+            match self.fault {
+                Fault::CommitDrop => {
+                    self.armed = false;
+                    return;
+                }
+                Fault::DoubleCommit => {
+                    self.armed = false;
+                    self.inner.commit(e);
+                    self.inner.commit(e);
+                    return;
+                }
+                Fault::CommitSwap => {
+                    let Some(held) = self.held_commit else {
+                        self.held_commit = Some(e);
+                        return;
+                    };
+                    if self.threads.get(&e.uid) == self.threads.get(&held.uid) {
+                        // Later same-thread commit found: release it first,
+                        // then the held (earlier) one — out of order.
+                        self.armed = false;
+                        self.held_commit = None;
+                        self.inner.commit(e);
+                        self.inner.commit(held);
+                    } else {
+                        self.inner.commit(e);
+                    }
+                    return;
+                }
+                _ => {}
+            }
+        }
+        self.inner.commit(e);
+    }
+
+    fn squash(&mut self, e: StageEvent) {
+        self.inner.squash(e);
+    }
+
+    fn cache_access(&mut self, e: CacheEvent) {
+        self.inner.cache_access(e);
+        if self.armed && self.fault == Fault::StoreFlood && e.write {
+            self.armed = false;
+            for _ in 0..self.store_cap {
+                self.inner.cache_access(CacheEvent {
+                    complete_at: e.cycle + 100_000,
+                    ..e
+                });
+            }
+        }
+    }
+
+    fn sync_event(&mut self, e: csmt_trace::SyncEvent) {
+        self.inner.sync_event(e);
+    }
+
+    fn rename_pools(&mut self, e: RenamePoolEvent) {
+        if self.armed && self.fault == Fault::RenamePoolSkew {
+            self.armed = false;
+            self.inner.rename_pools(RenamePoolEvent {
+                int_free: e.int_free + 1,
+                ..e
+            });
+            return;
+        }
+        self.inner.rename_pools(e);
+    }
+
+    fn cycle_end(&mut self, cycle: u64, stats: Option<&CycleStats>) {
+        if self.armed {
+            if let Some(s) = stats {
+                match self.fault {
+                    Fault::SlotSkim if s.slots > 0 => {
+                        self.armed = false;
+                        let mut skimmed = *s;
+                        skimmed.wasted[0] += 1.0;
+                        self.inner.cycle_end(cycle, Some(&skimmed));
+                        return;
+                    }
+                    Fault::StatsRewind if s.committed > 0 => {
+                        self.armed = false;
+                        let mut rewound = *s;
+                        rewound.committed -= 1;
+                        self.inner.cycle_end(cycle, Some(&rewound));
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self.inner.cycle_end(cycle, stats);
+    }
+}
+
+/// Run mgrid on SMT2 (2-wide clusters, 2 contexts each — small enough to
+/// be fast, multithreaded enough to exercise every event type) with the
+/// given fault seeded.
+fn run_with(fault: Fault) -> Result<VerifySummary, Vec<Violation>> {
+    let chip = ArchKind::Smt2.chip();
+    let app = by_name("mgrid").expect("mgrid is a registered app");
+    let mut fi = FaultInjector::new(&chip, 1, fault);
+    simulate_probed(&app, chip, 1, SCALE, SEED, MemConfig::table3(), &mut fi);
+    fi.finish()
+}
+
+/// Assert the fault is caught and the target kind is among the reports.
+fn caught(fault: Fault, kind: ViolationKind) {
+    let errs = run_with(fault).expect_err("seeded fault must not verify clean");
+    assert!(
+        errs.iter().any(|v| v.kind == kind),
+        "fault {:?}: wanted {:?} among {} violation(s), first few: {:#?}",
+        fault,
+        kind,
+        errs.len(),
+        &errs[..errs.len().min(4)]
+    );
+}
+
+#[test]
+fn control_run_is_clean() {
+    let summary = run_with(Fault::None).expect("unmutated run must verify clean");
+    assert!(summary.committed > 0);
+    assert!(summary.cycles > 0);
+}
+
+#[test]
+fn phantom_fetch_burst_trips_window_overflow() {
+    caught(Fault::PhantomFetchBurst, ViolationKind::WindowOverflow);
+}
+
+#[test]
+fn rename_pool_skew_trips_rename_conservation() {
+    caught(Fault::RenamePoolSkew, ViolationKind::RenameConservation);
+}
+
+#[test]
+fn commit_swap_trips_out_of_order_commit() {
+    caught(Fault::CommitSwap, ViolationKind::OutOfOrderCommit);
+}
+
+#[test]
+fn cluster_relabel_trips_cross_cluster() {
+    caught(Fault::ClusterRelabel, ViolationKind::CrossCluster);
+}
+
+#[test]
+fn slot_skim_trips_slot_conservation() {
+    caught(Fault::SlotSkim, ViolationKind::SlotConservation);
+}
+
+#[test]
+fn double_commit_trips_lifecycle_order() {
+    caught(Fault::DoubleCommit, ViolationKind::LifecycleOrder);
+}
+
+#[test]
+fn issue_burst_trips_issue_width() {
+    caught(Fault::IssueBurst, ViolationKind::IssueWidthExceeded);
+}
+
+#[test]
+fn commit_drop_trips_leak_at_drain() {
+    caught(Fault::CommitDrop, ViolationKind::LeakedInstruction);
+}
+
+#[test]
+fn store_flood_trips_store_buffer_overflow() {
+    caught(Fault::StoreFlood, ViolationKind::StoreBufferOverflow);
+}
+
+#[test]
+fn stats_rewind_trips_stats_regression() {
+    caught(Fault::StatsRewind, ViolationKind::StatsRegression);
+}

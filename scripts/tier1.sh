@@ -19,4 +19,19 @@ cargo test -q
 echo "==> cargo test --workspace"
 cargo test -q --workspace
 
+echo "==> csmt-lint (Table 2 configs + workload streams)"
+cargo run -q --release -p csmt-verify --bin csmt-lint
+
+echo "==> invariant golden run (all architectures under InvariantProbe)"
+cargo test -q -p csmt-verify --test golden_invariants
+
+# Miri needs a nightly toolchain with the miri component; run it when
+# available (CI installs it), skip gracefully on stable-only setups.
+if cargo miri --version >/dev/null 2>&1; then
+  echo "==> cargo miri (csmt-isa, csmt-core unit tests)"
+  cargo miri test -p csmt-isa -p csmt-core --lib
+else
+  echo "==> cargo miri: not installed, skipping (CI runs it)"
+fi
+
 echo "tier1: all green"

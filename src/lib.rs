@@ -19,6 +19,7 @@
 //! | [`workloads`] | swim, tomcatv, mgrid, vpenta, fmm, ocean |
 //! | [`model`] | the §2 analytic model of thread/instruction parallelism |
 //! | [`trace`] | observability: pipeline probes, heartbeats, O3PipeView |
+//! | [`verify`] | invariant checker, Table 2 config validation, stream linter |
 //!
 //! ## Quickstart
 //!
@@ -41,6 +42,7 @@ pub use csmt_isa as isa;
 pub use csmt_mem as mem;
 pub use csmt_model as model;
 pub use csmt_trace as trace;
+pub use csmt_verify as verify;
 pub use csmt_workloads as workloads;
 
 /// The most common imports for driving experiments.
@@ -51,6 +53,7 @@ pub mod prelude {
     pub use csmt_mem::{MemConfig, MemorySystem};
     pub use csmt_model::{AppPoint, ArchModel, Region};
     pub use csmt_trace::{IntervalSampler, NullProbe, PipeviewProbe, Probe, StatsRegistry};
+    pub use csmt_verify::{InvariantProbe, Violation, ViolationKind};
     pub use csmt_workloads::{
         all_apps, by_name, simulate, simulate_job_batches, simulate_multiprogram, simulate_probed,
         simulate_tls, AppParams, AppSpec, TlsLoop,
