@@ -1,0 +1,136 @@
+//! End-to-end `Machine` throughput (machine cycles simulated per second)
+//! with the event-driven stall fast-forward on vs. off — the number the
+//! fast-forward must improve.
+//!
+//! Two scenarios run whole machines on a memory-bound workload: per-thread
+//! *serial* chains of address-dependent loads (each load's address depends
+//! on the previous load's result) striding past the page size over a
+//! multi-megabyte private footprint. Every load TLB-misses and walks deep
+//! into the hierarchy, so the pipeline spends almost all of its time with
+//! nothing to issue, fetch blocked on a full window, and nothing to retire
+//! — exactly the all-stalled state the fast-forward skips:
+//!
+//! - `smt2_lowend`: the paper's headline low-end machine (1 chip, SMT2,
+//!   8 threads).
+//! - `fa4_highend_membound`: the high-end machine at its most
+//!   communication-heavy (4 chips, FA4, 16 threads), where remote misses
+//!   stretch each stall by hundreds of network cycles.
+//!
+//! Both configurations are timed with the fast-forward disabled (the
+//! cycle-by-cycle baseline) and enabled; results are bit-for-bit identical
+//! either way (`tests/fastforward_equiv.rs` proves it), so the ratio is
+//! pure simulator speedup. Set `CSMT_BENCH_JSON=<path>` to dump the
+//! summary as JSON (recorded numbers live in `BENCH_machine_step.json`).
+
+use criterion::{criterion_group, Criterion};
+use csmt_core::{ArchKind, Machine};
+use csmt_isa::stream::VecStream;
+use csmt_isa::{ArchReg, DynInst, InstStream, SyncOp};
+use csmt_mem::MemConfig;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Stride between consecutive loads: one page plus one line, so every
+/// access touches a new page (TLB miss) and a new set (cache miss).
+const STRIDE: u64 = 4096 + 64;
+
+/// One thread's program: a serial chain of `n` address-dependent loads
+/// (`Fp(1) <- load [Fp(1)]`) over a private footprint based at
+/// `tid << 24`, closed by an explicit exit.
+fn serial_load_chain(tid: u64, n: u64) -> Box<dyn InstStream + Send> {
+    let base = tid << 24;
+    let mut v = Vec::with_capacity(n as usize + 1);
+    for i in 0..n {
+        v.push(DynInst::load(
+            base + i * 4,
+            ArchReg::Fp(1),
+            base + i * STRIDE,
+            [Some(ArchReg::Fp(1)), None],
+        ));
+    }
+    v.push(DynInst::sync(base + n * 4, SyncOp::Exit));
+    Box::new(VecStream::new(v))
+}
+
+/// (name, architecture, chips, loads per thread).
+const SCENARIOS: [(&str, ArchKind, usize, u64); 2] = [
+    ("smt2_lowend", ArchKind::Smt2, 1, 1200),
+    ("fa4_highend_membound", ArchKind::Fa4, 4, 1200),
+];
+
+/// Run one scenario to completion; returns machine cycles simulated.
+fn run_machine(kind: ArchKind, chips: usize, loads: u64, fastforward: bool) -> u64 {
+    let mut m = Machine::new(kind.chip(), chips, MemConfig::table3(), 0xC5_317);
+    m.set_fastforward(fastforward);
+    let threads = m.hw_thread_capacity();
+    m.attach_threads(
+        (0..threads)
+            .map(|t| serial_load_chain(t as u64, loads))
+            .collect(),
+    );
+    m.run(2_000_000_000).cycles
+}
+
+fn bench_machine_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("machine_step");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for (name, kind, chips, loads) in SCENARIOS {
+        for (mode, ff) in [("stepped", false), ("fastforward", true)] {
+            g.bench_function(format!("{name}/{mode}"), |b| {
+                b.iter(|| black_box(run_machine(kind, chips, loads, ff)));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_machine_step);
+
+/// Direct cycles/sec measurement (aggregate over several full runs),
+/// printed per scenario and mode, and optionally dumped as JSON.
+fn steps_per_sec_summary(test_mode: bool) {
+    let reps = if test_mode { 1 } else { 5 };
+    let mut report = Vec::new();
+    for (name, kind, chips, loads) in SCENARIOS {
+        let mut by_mode = [0.0f64; 2];
+        let mut cycles = 0;
+        for (k, (mode, ff)) in [("stepped", false), ("fastforward", true)]
+            .into_iter()
+            .enumerate()
+        {
+            // Warm-up run, then timed repetitions.
+            cycles = black_box(run_machine(kind, chips, loads, ff));
+            let t0 = Instant::now();
+            let mut total_cycles = 0u64;
+            for _ in 0..reps {
+                cycles = black_box(run_machine(kind, chips, loads, ff));
+                total_cycles += cycles;
+            }
+            let secs = t0.elapsed().as_secs_f64();
+            let sps = total_cycles as f64 / secs;
+            by_mode[k] = sps;
+            println!("machine_step/{name}/{mode}: {sps:.0} cycles/sec ({cycles} cycles/run)");
+        }
+        let speedup = by_mode[1] / by_mode[0];
+        println!("machine_step/{name}: fastforward speedup {speedup:.2}x");
+        report.push(format!(
+            "    {{\"scenario\": \"{name}\", \"stepped_cycles_per_sec\": {:.0}, \
+             \"fastforward_cycles_per_sec\": {:.0}, \"speedup\": {speedup:.2}, \
+             \"cycles_per_run\": {cycles}}}",
+            by_mode[0], by_mode[1]
+        ));
+    }
+    if let Some(path) = std::env::var_os("CSMT_BENCH_JSON") {
+        let body = format!("[\n{}\n]\n", report.join(",\n"));
+        std::fs::write(&path, body).expect("CSMT_BENCH_JSON must be writable");
+        eprintln!("wrote {}", path.to_string_lossy());
+    }
+}
+
+fn main() {
+    benches();
+    let test_mode = std::env::args().any(|a| a == "--test");
+    steps_per_sec_summary(test_mode);
+}

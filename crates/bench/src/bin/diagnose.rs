@@ -16,6 +16,10 @@
 //! * `CSMT_VERIFY=1` — attach `csmt-verify`'s `InvariantProbe` to every
 //!   run (composes with tracing). On any invariant violation the first
 //!   ten reports are printed and the process exits with status 2.
+//! * `CSMT_FASTFORWARD=0` — disable the event-driven stall fast-forward
+//!   and step every cycle (results are bit-for-bit identical either way;
+//!   the escape hatch exists for timing comparisons and for isolating the
+//!   skip path when debugging).
 //!
 //! Always writes a machine-readable summary, `BENCH_diagnose.json`, into
 //! `CSMT_JSON_DIR` (or the current directory): per architecture the full
@@ -153,6 +157,9 @@ fn main() {
     let verify = verify_enabled();
     if let Some(dir) = &trace_dir {
         std::fs::create_dir_all(dir).expect("CSMT_TRACE_OUT must be creatable");
+    }
+    if !csmt_core::Machine::fastforward_env_enabled() {
+        println!("fast-forward disabled (CSMT_FASTFORWARD=0): stepping every cycle");
     }
 
     let mut registry = StatsRegistry::new();

@@ -48,6 +48,12 @@ pub struct Machine {
     running_thread_cycles: u64,
     events_buf: Vec<ClusterEvent>,
     actions_buf: Vec<Action>,
+    /// Event-driven stall fast-forward (on by default; `CSMT_FASTFORWARD=0`
+    /// disables it). Bit-for-bit result-preserving — see
+    /// [`fast_forward_probed`](Machine::fast_forward_probed).
+    fastforward: bool,
+    /// Scratch: per-cluster hazard weights, frozen for a skipped span.
+    stall_weights_buf: Vec<[f64; 7]>,
 }
 
 impl Machine {
@@ -63,6 +69,8 @@ impl Machine {
                     .collect(),
             })
             .collect();
+        let max_cluster_events = cfg.cluster.hw_threads;
+        let n_clusters = n_chips * cfg.clusters;
         Machine {
             cfg,
             chips,
@@ -71,9 +79,29 @@ impl Machine {
             placements: Vec::new(),
             cycle: 0,
             running_thread_cycles: 0,
-            events_buf: Vec::new(),
+            events_buf: Vec::with_capacity(max_cluster_events),
             actions_buf: Vec::new(),
+            fastforward: Self::fastforward_env_enabled(),
+            stall_weights_buf: Vec::with_capacity(n_clusters),
         }
+    }
+
+    /// Whether the `CSMT_FASTFORWARD` environment variable enables the
+    /// stall fast-forward: enabled unless the variable is set to `0`.
+    pub fn fastforward_env_enabled() -> bool {
+        std::env::var_os("CSMT_FASTFORWARD").is_none_or(|v| v != "0")
+    }
+
+    /// Enable or disable the event-driven stall fast-forward. Results are
+    /// bit-for-bit identical either way; this exists for differential
+    /// testing and for timing the cycle-by-cycle baseline.
+    pub fn set_fastforward(&mut self, on: bool) {
+        self.fastforward = on;
+    }
+
+    /// Whether the stall fast-forward is currently enabled.
+    pub fn fastforward(&self) -> bool {
+        self.fastforward
     }
 
     /// Total hardware thread contexts in the machine — the thread count the
@@ -115,6 +143,7 @@ impl Machine {
             self.hw_thread_capacity()
         );
         self.runtime = Runtime::with_groups(streams.iter().map(|(_, g)| *g).collect());
+        self.actions_buf.reserve(streams.len());
         for (tid, (s, _)) in streams.into_iter().enumerate() {
             let p = self.placement_of(tid);
             self.chips[p.chip].clusters[p.cluster].attach_thread(p.ctx, s);
@@ -201,6 +230,13 @@ impl Machine {
             .flat_map(|c| c.clusters.iter())
             .map(csmt_cpu::Cluster::running_threads)
             .sum();
+        self.finish_cycle(now, running, probe);
+    }
+
+    /// The per-cycle epilogue shared by [`step_probed`](Machine::step_probed)
+    /// and the fast-forward path: running-thread accounting, the cycle
+    /// counter, and the end-of-cycle probe callback.
+    fn finish_cycle<P: Probe>(&mut self, now: u64, running: usize, probe: &mut P) {
         self.running_thread_cycles += running as u64;
         self.cycle += 1;
         if P::WANTS_CYCLE_STATS {
@@ -226,6 +262,66 @@ impl Machine {
             probe.cycle_end(now, Some(&stats));
         } else {
             probe.cycle_end(now, None);
+        }
+    }
+
+    /// Earliest cycle ≥ the current one at which any cluster could do more
+    /// than stalled-cycle accounting, folding in the memory system's next
+    /// MSHR fill. Returns the current cycle when the machine is not in an
+    /// all-stalled state (the common case exits on the first non-skippable
+    /// cluster).
+    pub fn next_event_cycle(&self) -> u64 {
+        let now = self.cycle;
+        let mut next = u64::MAX;
+        for chip in &self.chips {
+            for cluster in &chip.clusters {
+                let t = cluster.next_event_cycle(now);
+                if t <= now {
+                    return now;
+                }
+                next = next.min(t);
+            }
+        }
+        next.min(self.mem.next_event_cycle(now))
+    }
+
+    /// Advance the machine from the current cycle up to (not including)
+    /// `target`, where every intervening cycle is a pure stall for every
+    /// cluster (caller established this via
+    /// [`next_event_cycle`](Machine::next_event_cycle)).
+    ///
+    /// Bit-for-bit equivalence with stepping each cycle: hazard weights are
+    /// frozen per cluster (nothing a stalled cycle does can change them —
+    /// asserted per cycle under `debug_assertions`), the running-thread
+    /// count is frozen (thread states only change on non-stall activity),
+    /// and each skipped cycle still runs the real fetch stage, records its
+    /// slot statistics through the same `f64` accumulation sequence, and
+    /// fires the same per-cycle probe callbacks in the same order.
+    fn fast_forward_probed<P: Probe>(&mut self, target: u64, probe: &mut P) {
+        self.stall_weights_buf.clear();
+        let start = self.cycle;
+        for chip in &self.chips {
+            for cluster in &chip.clusters {
+                self.stall_weights_buf.push(cluster.stall_weights(start));
+            }
+        }
+        let running: usize = self
+            .chips
+            .iter()
+            .flat_map(|c| c.clusters.iter())
+            .map(csmt_cpu::Cluster::running_threads)
+            .sum();
+        while self.cycle < target {
+            let now = self.cycle;
+            for chip_idx in 0..self.chips.len() {
+                for cluster_idx in 0..self.chips[chip_idx].clusters.len() {
+                    let cluster_id = (chip_idx * self.cfg.clusters + cluster_idx) as u32;
+                    let weights = self.stall_weights_buf[cluster_id as usize];
+                    self.chips[chip_idx].clusters[cluster_idx]
+                        .stall_cycle_probed(now, &weights, probe, cluster_id);
+                }
+            }
+            self.finish_cycle(now, running, probe);
         }
     }
 
@@ -256,6 +352,16 @@ impl Machine {
                 self.cycle < max_cycles,
                 "simulation exceeded {max_cycles} cycles (deadlock?)"
             );
+            if self.fastforward {
+                // Capping the jump at `max_cycles` preserves the deadlock
+                // panic above: a machine stalled forever walks up to the
+                // limit and trips the assert exactly as stepping would.
+                let target = self.next_event_cycle().min(max_cycles);
+                if target > self.cycle {
+                    self.fast_forward_probed(target, probe);
+                    continue;
+                }
+            }
             self.step_probed(probe);
         }
         self.result()

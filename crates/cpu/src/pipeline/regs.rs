@@ -153,11 +153,24 @@ pub(crate) fn account(
     useful: usize,
     wrong: usize,
 ) {
+    let w = hazard_weights(regs.rename_stalled, &regs.threads, win, now);
+    regs.stats.record_cycle(cfg.issue_width, useful, wrong, &w);
+}
+
+/// The §4.1 per-thread hazard attribution for one cycle, factored out of
+/// [`account`] so the stall fast-forward can compute a stalled cycle's
+/// weights once and replay them bit-for-bit over the whole skipped span.
+pub(crate) fn hazard_weights(
+    rename_stalled: bool,
+    threads: &[ThreadCtx],
+    win: &Window,
+    now: u64,
+) -> [f64; 7] {
     let mut w = [0.0f64; 7];
-    if regs.rename_stalled {
+    if rename_stalled {
         w[Hazard::Other.index()] += 1.0;
     }
-    for t in &regs.threads {
+    for t in threads {
         match t.state {
             ThreadState::Idle
             | ThreadState::Done
@@ -233,5 +246,5 @@ pub(crate) fn account(
             }
         }
     }
-    regs.stats.record_cycle(cfg.issue_width, useful, wrong, &w);
+    w
 }

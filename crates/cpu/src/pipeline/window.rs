@@ -68,6 +68,21 @@ impl Window {
         !self.free_slots.is_empty()
     }
 
+    /// True if no installed entry is ready to issue.
+    pub fn ready_is_empty(&self) -> bool {
+        self.ready.is_empty()
+    }
+
+    /// Earliest completion-wheel bucket, if any instruction is in flight.
+    ///
+    /// The wheel retains stale (squashed) references until their bucket is
+    /// popped, so this is a conservative lower bound: the returned cycle
+    /// may complete nothing, but nothing completes before it. That is
+    /// exactly what the stall fast-forward needs.
+    pub fn next_completion_cycle(&self) -> Option<u64> {
+        self.wheel.keys().next().copied()
+    }
+
     /// Install a dispatched entry, registering it with its producers'
     /// waiter lists (or the ready queue when every operand is already
     /// there). Caller has checked [`has_free`](Window::has_free).

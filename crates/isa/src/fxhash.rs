@@ -1,0 +1,133 @@
+//! Deterministic FxHash-style hashing for simulator hot paths.
+//!
+//! `std::collections::HashMap` defaults to SipHash-1-3 behind a
+//! per-process random seed: robust against adversarial keys, but an
+//! order of magnitude slower than necessary for the trusted `u64` keys
+//! (cache lines, pages) the memory hierarchy hashes millions of times
+//! per run. [`FxHashMap`] swaps in the rustc-compiler-style Fx mix —
+//! one rotate/xor/multiply per 8 bytes — behind a *fixed* seed, so
+//! hashing is identical on every run and platform.
+//!
+//! Determinism note: the simulator never iterates these maps (lookups,
+//! inserts and removals only), so even the std map's random iteration
+//! order could not leak into results — the fixed seed simply removes
+//! the temptation and the per-process entropy entirely.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from FxHash (the golden-ratio-derived odd constant used
+/// by rustc's `FxHasher` for 64-bit mixing).
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fixed, build-independent initial state (any constant works; a
+/// non-zero one avoids mapping the all-zero key to hash 0).
+const SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// One-word multiply-mix hasher (FxHash), seeded with a fixed constant.
+///
+/// Not DoS-resistant — use only for trusted keys like addresses.
+#[derive(Debug, Clone, Copy)]
+pub struct FxHasher64 {
+    hash: u64,
+}
+
+impl Default for FxHasher64 {
+    fn default() -> Self {
+        FxHasher64 { hash: SEED }
+    }
+}
+
+impl FxHasher64 {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher64 {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf) ^ rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher64`]s (all identically seeded).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher64>;
+
+/// Drop-in `HashMap` replacement with deterministic Fx hashing.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    fn hash_u64(v: u64) -> u64 {
+        let mut h = FxBuildHasher::default().build_hasher();
+        h.write_u64(v);
+        h.finish()
+    }
+
+    #[test]
+    fn hashing_is_deterministic_across_hashers() {
+        for v in [0u64, 1, 0xdead_beef, u64::MAX] {
+            assert_eq!(hash_u64(v), hash_u64(v));
+        }
+    }
+
+    #[test]
+    fn distinct_keys_spread() {
+        let hashes: std::collections::HashSet<u64> = (0..1000u64).map(hash_u64).collect();
+        assert_eq!(hashes.len(), 1000, "no collisions on small sequential keys");
+    }
+
+    #[test]
+    fn map_behaves_like_std_hashmap() {
+        let mut m: FxHashMap<u64, usize> = FxHashMap::default();
+        for k in 0..100u64 {
+            m.insert(k * 3, k as usize);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get(&27), Some(&9));
+        assert_eq!(m.remove(&27), Some(9));
+        assert!(!m.contains_key(&27));
+    }
+
+    #[test]
+    fn byte_stream_and_word_paths_agree_on_8_byte_input() {
+        let mut a = FxHasher64::default();
+        a.write_u64(0x0102_0304_0506_0708);
+        let mut b = FxHasher64::default();
+        b.write(&0x0102_0304_0506_0708u64.to_le_bytes());
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -20,7 +20,9 @@
 //! * [`block`] — reusable basic-block templates with explicit register
 //!   dataflow, the building blocks of the synthetic applications;
 //! * [`rng`] — a tiny deterministic SplitMix64 PRNG so every simulation is
-//!   bit-for-bit reproducible.
+//!   bit-for-bit reproducible;
+//! * [`fxhash`] — a fixed-seed FxHash map for address-keyed hot-path
+//!   tables (TLB, directory), replacing SipHash + per-process entropy.
 
 //! ```
 //! use csmt_isa::block::{BlockBuilder, ChainSpec, OpMix, RegAlloc};
@@ -43,12 +45,14 @@
 //! ```
 
 pub mod block;
+pub mod fxhash;
 pub mod inst;
 pub mod op;
 pub mod reg;
 pub mod rng;
 pub mod stream;
 
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher64};
 pub use inst::{BranchInfo, DynInst, MemRef, SyncOp};
 pub use op::{FuKind, OpClass};
 pub use reg::ArchReg;

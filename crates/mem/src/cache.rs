@@ -187,47 +187,46 @@ impl Cache {
         let set = self.set_of(line);
         let tag = line;
         self.lru_clock = self.lru_clock.wrapping_add(1);
-        // Hit?
+        // One fused pass over the set: hit check, first-invalid victim
+        // candidate and the lowest-stamp (LRU/FIFO) candidate together,
+        // where separate scans would walk the ways up to three times.
+        let base = self.slot(set, 0);
+        let mut invalid_way = usize::MAX;
+        let mut stamp_way = 0;
+        let mut stamp_best = u32::MAX;
         for w in 0..self.assoc {
-            let idx = self.slot(set, w);
-            if self.ways[idx].valid && self.ways[idx].tag == tag {
-                if self.policy == Replacement::Lru {
-                    self.ways[idx].lru = self.lru_clock;
+            let way = self.ways[base + w];
+            if way.valid {
+                if way.tag == tag {
+                    if self.policy == Replacement::Lru {
+                        self.ways[base + w].lru = self.lru_clock;
+                    }
+                    self.ways[base + w].dirty |= write;
+                    self.hits += 1;
+                    return LookupResult::Hit;
                 }
-                self.ways[idx].dirty |= write;
-                self.hits += 1;
-                return LookupResult::Hit;
+                if way.lru < stamp_best {
+                    stamp_best = way.lru;
+                    stamp_way = w;
+                }
+            } else if invalid_way == usize::MAX {
+                invalid_way = w;
             }
         }
         self.misses += 1;
-        // Victim: first invalid way, else per policy.
-        let mut victim_way = usize::MAX;
-        for w in 0..self.assoc {
-            if !self.ways[self.slot(set, w)].valid {
-                victim_way = w;
-                break;
-            }
-        }
-        if victim_way == usize::MAX {
-            victim_way = match self.policy {
-                // LRU and FIFO both evict the lowest stamp; they differ in
-                // whether hits refresh it (see the hit path above).
-                Replacement::Lru | Replacement::Fifo => {
-                    let mut best = u32::MAX;
-                    let mut pick = 0;
-                    for w in 0..self.assoc {
-                        let stamp = self.ways[self.slot(set, w)].lru;
-                        if stamp < best {
-                            best = stamp;
-                            pick = w;
-                        }
-                    }
-                    pick
-                }
+        // Victim: first invalid way, else per policy. (When no way is
+        // invalid every way was valid, so `stamp_way` covered the full
+        // set; LRU and FIFO both evict the lowest stamp and differ only
+        // in whether hits refresh it — see the hit path above.)
+        let victim_way = if invalid_way != usize::MAX {
+            invalid_way
+        } else {
+            match self.policy {
+                Replacement::Lru | Replacement::Fifo => stamp_way,
                 Replacement::Random => self.rng.below_usize(self.assoc),
-            };
-        }
-        let idx = self.slot(set, victim_way);
+            }
+        };
+        let idx = base + victim_way;
         let evicted = if self.ways[idx].valid {
             Some(Victim {
                 line: self.ways[idx].tag,

@@ -17,7 +17,7 @@
 //! * a write touching a line shared by other nodes invalidates them
 //!   (penalty charged to the writer, see `MemConfig::invalidation_penalty`).
 
-use std::collections::HashMap;
+use csmt_isa::FxHashMap;
 
 /// Sharer bitmask; the paper's machines have at most 4 nodes, we allow 32.
 pub type NodeMask = u32;
@@ -80,7 +80,10 @@ impl DirOutcome {
 /// Full-map directory for all lines homed across `nodes` nodes.
 #[derive(Debug, Clone)]
 pub struct Directory {
-    lines: HashMap<u64, DirState>,
+    /// Per-line states, fixed-seed Fx-hashed: looked up on every miss and
+    /// every multi-node write, never iterated (so hashing determinism is
+    /// for speed and reproducibility hygiene, not correctness).
+    lines: FxHashMap<u64, DirState>,
     nodes: usize,
     /// Lines per page, for computing homes (pages interleave round-robin).
     lines_per_page: u64,
@@ -94,8 +97,12 @@ impl Directory {
     pub fn new(nodes: usize, lines_per_page: u64) -> Self {
         assert!((1..=32).contains(&nodes));
         assert!(lines_per_page >= 1);
+        let mut lines = FxHashMap::default();
+        // Directory entries accrete one per touched line; start with room
+        // for a realistic working set so early misses don't pay rehashes.
+        lines.reserve(1 << 12);
         Self {
-            lines: HashMap::new(),
+            lines,
             nodes,
             lines_per_page,
             remote_l2_transfers: 0,

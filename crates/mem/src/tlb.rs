@@ -5,14 +5,15 @@
 //! modelled with a hash set plus a FIFO-ordered slot vector; the victim on a
 //! fill is chosen uniformly at random from a deterministic PRNG.
 
-use csmt_isa::SplitMix64;
-use std::collections::HashMap;
+use csmt_isa::{FxHashMap, SplitMix64};
 
 /// Fully associative TLB with random replacement.
 #[derive(Debug, Clone)]
 pub struct Tlb {
-    /// page -> slot index, for O(1) lookup.
-    map: HashMap<u64, usize>,
+    /// page -> slot index, for O(1) lookup. Deterministic fixed-seed Fx
+    /// hashing: this map sits on every memory access and is never
+    /// iterated, so the std SipHash + random seed buys nothing here.
+    map: FxHashMap<u64, usize>,
     /// slot -> page.
     slots: Vec<u64>,
     capacity: usize,
@@ -25,8 +26,10 @@ impl Tlb {
     /// TLB with `capacity` entries and a deterministic replacement stream.
     pub fn new(capacity: usize, seed: u64) -> Self {
         assert!(capacity >= 1);
+        let mut map = FxHashMap::default();
+        map.reserve(capacity * 2);
         Self {
-            map: HashMap::with_capacity(capacity * 2),
+            map,
             slots: Vec::with_capacity(capacity),
             capacity,
             rng: SplitMix64::new(seed),

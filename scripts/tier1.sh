@@ -19,6 +19,9 @@ cargo test -q
 echo "==> cargo test --workspace"
 cargo test -q --workspace
 
+echo "==> machine_step bench smoke (fast-forward on/off, test mode)"
+cargo bench -p csmt-bench --bench machine_step -- --test
+
 echo "==> csmt-lint (Table 2 configs + workload streams)"
 cargo run -q --release -p csmt-verify --bin csmt-lint
 

@@ -162,6 +162,47 @@ fn per_architecture_digests_are_bit_for_bit_stable() {
     );
 }
 
+/// (cycles, committed, run-result digest, event-stream digest) for the
+/// high-end 4-chip FA4 machine — the configuration where the stall
+/// fast-forward skips the most (remote misses stretch every stall), so
+/// any drift in the skip path shows up here first.
+const EXPECTED_FA4_4CHIP: (u64, u64, u64, u64) =
+    (3293, 22160, 0xe72e0421d0136629, 0xa67e4cf7854176b1);
+
+/// Pins the high-end (4-chip, CC-NUMA) machine, complementing the
+/// single-chip sweep above: remote L2/memory latencies, directory
+/// invalidations and inter-chip sharing are all exercised only here.
+#[test]
+fn high_end_four_chip_digest_is_bit_for_bit_stable() {
+    let app = by_name(APP).expect("paper app");
+    let mut probe = EventDigest::new();
+    let r = simulate_probed(
+        &app,
+        ArchKind::Fa4.chip(),
+        4,
+        SCALE,
+        SEED,
+        csmt_mem::MemConfig::table3(),
+        &mut probe,
+    );
+    let json = serde_json::to_string(&r).expect("RunResult serializes");
+    let mut rd = Fnv::new();
+    rd.update(json.as_bytes());
+    let got = (r.cycles, r.slots.committed, rd.finish(), probe.fnv.finish());
+    if std::env::var_os("GOLDEN_PRINT").is_some() {
+        println!(
+            "    FA4x4: ({}, {}, 0x{:016x}, 0x{:016x})",
+            got.0, got.1, got.2, got.3
+        );
+        return;
+    }
+    assert_eq!(
+        got, EXPECTED_FA4_4CHIP,
+        "behavioral drift on the 4-chip high-end machine ({} events)",
+        probe.events
+    );
+}
+
 /// The digests must not depend on whether a probe observes the run: the
 /// unprobed path (`NullProbe` monomorphization) must produce the same
 /// statistics as the probed one.
