@@ -2,24 +2,15 @@
 //! Figure-4 architectures with full memory-system detail — the tool used to
 //! calibrate the workload models against the paper's hazard profiles.
 //!
-//! Usage: `diagnose [app] [scale] [chips]` (defaults: vpenta, 0.3, 1).
-//!
-//! Observability (see `csmt-trace` and the Observability section of
-//! DESIGN.md):
-//!
-//! * `CSMT_TRACE_OUT=<dir>` — write per-architecture traces into `<dir>`:
-//!   `heartbeat_<arch>.jsonl` (interval heartbeats) and
-//!   `pipeview_<arch>.trace` (gem5 O3PipeView format, loadable in Konata;
-//!   capped at 200k instruction records per architecture).
-//! * `CSMT_TRACE_INTERVAL=<n>` — heartbeat interval in cycles
-//!   (default 1000).
-//! * `CSMT_VERIFY=1` — attach `csmt-verify`'s `InvariantProbe` to every
-//!   run (composes with tracing). On any invariant violation the first
-//!   ten reports are printed and the process exits with status 2.
-//! * `CSMT_FASTFORWARD=0` — disable the event-driven stall fast-forward
-//!   and step every cycle (results are bit-for-bit identical either way;
-//!   the escape hatch exists for timing comparisons and for isolating the
-//!   skip path when debugging).
+//! Usage: `diagnose [app] [scale] [chips]` (defaults: vpenta, 0.3, 1);
+//! `diagnose --help` prints usage plus the consolidated table of every
+//! `CSMT_*` environment knob (`csmt_bench::ENV_KNOBS` — the same table
+//! README.md documents). The knobs this binary honors: `CSMT_TRACE_OUT`
+//! (heartbeat + Konata pipeview traces per architecture),
+//! `CSMT_TRACE_INTERVAL`, `CSMT_VERIFY`, `CSMT_FASTFORWARD`,
+//! `CSMT_SELF_PROFILE` (host-phase wall-clock profile, aggregated over
+//! the sweep), and `CSMT_JSON_DIR`. See the Observability section of
+//! DESIGN.md.
 //!
 //! Always writes a machine-readable summary, `BENCH_diagnose.json`, into
 //! `CSMT_JSON_DIR` (or the current directory): per architecture the full
@@ -37,18 +28,31 @@ use serde::Value;
 /// Keeps O3PipeView output bounded (~200 bytes/record).
 const PIPEVIEW_MAX_RECORDS: u64 = 200_000;
 
-fn trace_config() -> (Option<PathBuf>, u64) {
-    let dir = std::env::var_os("CSMT_TRACE_OUT").map(PathBuf::from);
-    let interval = std::env::var("CSMT_TRACE_INTERVAL")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(1000);
-    (dir, interval)
+/// The env-selected observers of one sweep (`CSMT_TRACE_*`, `CSMT_VERIFY`).
+struct Observe {
+    trace_dir: Option<PathBuf>,
+    interval: u64,
+    verify: bool,
+}
+
+fn observe_config() -> Observe {
+    Observe {
+        trace_dir: std::env::var_os("CSMT_TRACE_OUT").map(PathBuf::from),
+        interval: std::env::var("CSMT_TRACE_INTERVAL")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(1000),
+        verify: verify_enabled(),
+    }
 }
 
 fn verify_enabled() -> bool {
-    std::env::var_os("CSMT_VERIFY").is_some_and(|v| v != "0" && !v.is_empty())
+    env_flag("CSMT_VERIFY")
+}
+
+fn env_flag(name: &str) -> bool {
+    std::env::var_os(name).is_some_and(|v| v != "0" && !v.is_empty())
 }
 
 /// Drain an [`InvariantProbe`] after a run: print the clean summary, or
@@ -74,58 +78,54 @@ fn check_invariants(probe: InvariantProbe, arch: ArchKind) {
     }
 }
 
-fn run_one(
+/// Run one architecture, composing the requested observers. `extra` is
+/// an additional probe threaded into every path (the host self-profiler,
+/// or `NullProbe` — callers pick the monomorphization, so the plain
+/// no-observer path still compiles to the uninstrumented pipeline).
+fn run_one<P: csmt_trace::Probe>(
     app: &AppSpec,
     arch: ArchKind,
     chips: usize,
     scale: f64,
-    trace_dir: Option<&PathBuf>,
-    interval: u64,
-    verify: bool,
+    obs: &Observe,
+    extra: &mut P,
 ) -> RunResult {
     let mem = csmt_mem::MemConfig::table3();
-    match (trace_dir, verify) {
-        // The plain path stays on `NullProbe`, compiling to the
-        // uninstrumented pipeline.
-        (None, false) => simulate_probed(
-            app,
-            arch.chip(),
-            chips,
-            scale,
-            1,
-            mem,
-            &mut csmt_trace::NullProbe,
-        ),
+    match (obs.trace_dir.as_ref(), obs.verify) {
+        (None, false) => simulate_probed(app, arch.chip(), chips, scale, 1, mem, extra),
         (None, true) => {
-            let mut probe = InvariantProbe::new(&arch.chip(), chips);
+            let mut probe = (InvariantProbe::new(&arch.chip(), chips), extra);
             let r = simulate_probed(app, arch.chip(), chips, scale, 1, mem, &mut probe);
-            check_invariants(probe, arch);
+            check_invariants(probe.0, arch);
             r
         }
         (Some(dir), verify) => {
             let mut probe = (
                 (
-                    IntervalSampler::create(
-                        dir.join(format!("heartbeat_{}.jsonl", arch.name())),
-                        interval,
-                    )
-                    .expect("CSMT_TRACE_OUT must be writable"),
-                    PipeviewProbe::with_limit(
-                        std::io::BufWriter::new(
-                            std::fs::File::create(
-                                dir.join(format!("pipeview_{}.trace", arch.name())),
-                            )
-                            .expect("CSMT_TRACE_OUT must be writable"),
+                    (
+                        IntervalSampler::create(
+                            dir.join(format!("heartbeat_{}.jsonl", arch.name())),
+                            obs.interval,
+                        )
+                        .expect("CSMT_TRACE_OUT must be writable"),
+                        PipeviewProbe::with_limit(
+                            std::io::BufWriter::new(
+                                std::fs::File::create(
+                                    dir.join(format!("pipeview_{}.trace", arch.name())),
+                                )
+                                .expect("CSMT_TRACE_OUT must be writable"),
+                            ),
+                            PIPEVIEW_MAX_RECORDS,
                         ),
-                        PIPEVIEW_MAX_RECORDS,
                     ),
+                    verify.then(|| InvariantProbe::new(&arch.chip(), chips)),
                 ),
-                verify.then(|| InvariantProbe::new(&arch.chip(), chips)),
+                extra,
             );
             let r = simulate_probed(app, arch.chip(), chips, scale, 1, mem, &mut probe);
-            probe.0 .0.finish().expect("heartbeat flush");
-            probe.0 .1.finish().expect("pipeview flush");
-            if let Some(inv) = probe.1 {
+            probe.0 .0 .0.finish().expect("heartbeat flush");
+            probe.0 .0 .1.finish().expect("pipeview flush");
+            if let Some(inv) = probe.0 .1 {
                 check_invariants(inv, arch);
             }
             r
@@ -149,13 +149,24 @@ fn summary_row(r: &RunResult) -> Value {
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "diagnose: one application across the five Figure-4 architectures\n\
+             \n\
+             usage: diagnose [app] [scale] [chips]   (defaults: vpenta 0.3 1)\n\
+             \n\
+             {}",
+            csmt_bench::render_env_knobs()
+        );
+        return;
+    }
     let app_name: String = csmt_bench::arg_or(1, "vpenta".into());
     let scale: f64 = csmt_bench::arg_or(2, 0.3);
     let chips: usize = csmt_bench::arg_or(3, 1);
     let app = by_name(&app_name).expect("unknown application");
-    let (trace_dir, interval) = trace_config();
-    let verify = verify_enabled();
-    if let Some(dir) = &trace_dir {
+    let obs = observe_config();
+    let mut profiler = env_flag("CSMT_SELF_PROFILE").then(csmt_metrics::HostProfiler::new);
+    if let Some(dir) = &obs.trace_dir {
         std::fs::create_dir_all(dir).expect("CSMT_TRACE_OUT must be creatable");
     }
     if !csmt_core::Machine::fastforward_env_enabled() {
@@ -174,15 +185,13 @@ fn main() {
         ArchKind::Fa1,
         ArchKind::Smt2,
     ] {
-        let r = run_one(
-            &app,
-            arch,
-            chips,
-            scale,
-            trace_dir.as_ref(),
-            interval,
-            verify,
-        );
+        // The profiler accumulates across the whole sweep; without it the
+        // `NullProbe` monomorphization keeps the timers compiled out.
+        let r = if let Some(p) = profiler.as_mut() {
+            run_one(&app, arch, chips, scale, &obs, p)
+        } else {
+            run_one(&app, arch, chips, scale, &obs, &mut csmt_trace::NullProbe)
+        };
         let b = r.breakdown();
         println!(
             "{:<5} cycles={:>8} ipc={:.2} useful={:.1}% mem={:.1}% data={:.1}% sync={:.1}% fetch={:.1}% struct={:.1}%",
@@ -198,6 +207,10 @@ fn main() {
         registry.record(&format!("result_{}", arch.name()), &r);
     }
     registry.record_value("summary", Value::Array(summaries));
+    if let Some(p) = &profiler {
+        print!("{}", p.render_text());
+        registry.record_value("host_profile", p.to_value());
+    }
 
     let out_dir = std::env::var_os("CSMT_JSON_DIR")
         .map(PathBuf::from)
@@ -207,7 +220,7 @@ fn main() {
         .write_json(&path)
         .expect("summary JSON must be writable");
     println!("wrote {}", path.display());
-    if let Some(dir) = &trace_dir {
+    if let Some(dir) = &obs.trace_dir {
         println!(
             "traces in {} (heartbeat_*.jsonl, pipeview_*.trace)",
             dir.display()

@@ -15,6 +15,63 @@ pub const FIGURE_SCALE: f64 = 1.0;
 /// Seed used by all figure runs.
 pub const FIGURE_SEED: u64 = 0xC5_317;
 
+/// Every `CSMT_*` environment knob the binaries honor, in one table:
+/// `(name, which binaries, what it does)`. Printed by `--help` output
+/// (see [`render_env_knobs`]) and mirrored in README.md — keep the three
+/// in sync.
+pub const ENV_KNOBS: &[(&str, &str, &str)] = &[
+    (
+        "CSMT_TRACE_OUT=<dir>",
+        "diagnose",
+        "write heartbeat_<arch>.jsonl + pipeview_<arch>.trace (Konata) into <dir>",
+    ),
+    (
+        "CSMT_TRACE_INTERVAL=<n>",
+        "diagnose, csmt-report",
+        "heartbeat/counter sampling interval in cycles (default 1000)",
+    ),
+    (
+        "CSMT_METRICS_OUT=<dir>",
+        "csmt-report",
+        "write metrics_<arch>_<app>.json + perfetto_<arch>_<app>.json into <dir>",
+    ),
+    (
+        "CSMT_SELF_PROFILE=1",
+        "diagnose, csmt-report",
+        "time the simulator's own phases (fetch/issue/commit/memory) and print the host profile",
+    ),
+    (
+        "CSMT_VERIFY=1",
+        "diagnose, csmt-report",
+        "attach csmt-verify's InvariantProbe; exit 2 on any invariant violation",
+    ),
+    (
+        "CSMT_FASTFORWARD=0",
+        "all simulators",
+        "disable the event-driven stall fast-forward (results are identical either way)",
+    ),
+    (
+        "CSMT_JSON_DIR=<dir>",
+        "fig*, diagnose",
+        "also write each figure/sweep as <dir>/<name>.json for external plotting",
+    ),
+    (
+        "CSMT_BENCH_JSON=<path>",
+        "machine_step, cluster_step benches",
+        "dump the throughput summary as JSON (input format of bench_gate)",
+    ),
+];
+
+/// The [`ENV_KNOBS`] table rendered as aligned help text.
+pub fn render_env_knobs() -> String {
+    use std::fmt::Write;
+    let mut out = String::from("environment knobs:\n");
+    for (name, bins, what) in ENV_KNOBS {
+        let _ = writeln!(out, "  {name:<26} [{bins}]\n      {what}");
+    }
+    out
+}
+
 /// Parse argv[`n`] as a `T`, falling back to `default` when the argument
 /// is absent or unparsable (the argv convention shared by every bench
 /// binary).

@@ -240,6 +240,11 @@ impl Machine {
         self.running_thread_cycles += running as u64;
         self.cycle += 1;
         if P::WANTS_CYCLE_STATS {
+            // Host self-profiling: the snapshot costs a pass over every
+            // cluster's stats, which the profiler reports as its own
+            // `cycle_end` row (non-zero only when a stats-wanting probe
+            // is composed in).
+            let phase_t = P::WANTS_HOST_PHASES.then(std::time::Instant::now);
             let mut slots = csmt_cpu::SlotStats::default();
             for c in &self.chips {
                 for cl in &c.clusters {
@@ -259,6 +264,12 @@ impl Machine {
                 l2_hits: mem.l2_hits,
                 tlb_misses: mem.tlb_misses,
             };
+            if let Some(t0) = phase_t {
+                probe.host_phase(
+                    csmt_trace::HostPhase::CycleEnd,
+                    t0.elapsed().as_nanos() as u64,
+                );
+            }
             probe.cycle_end(now, Some(&stats));
         } else {
             probe.cycle_end(now, None);

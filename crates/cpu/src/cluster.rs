@@ -23,7 +23,7 @@ use crate::pipeline::{commit, fetch, regs};
 use crate::stats::SlotStats;
 use csmt_isa::{InstStream, SyncOp};
 use csmt_mem::MemorySystem;
-use csmt_trace::{NullProbe, Probe, RenamePoolEvent};
+use csmt_trace::{HostPhase, NullProbe, Probe, RenamePoolEvent, WindowOccEvent};
 
 pub use crate::pipeline::regs::ThreadState;
 
@@ -174,6 +174,12 @@ impl Cluster {
         cluster_id: u32,
     ) {
         self.regs.rename_stalled = false;
+        // Host self-profiling: one timestamp per phase boundary, only
+        // when the probe opted in (two `Instant` reads per phase
+        // otherwise eliminated statically). Memory-hierarchy time is
+        // reported separately by `MemorySystem` and nests inside the
+        // issue (loads) and commit (stores) phases.
+        let mut phase_t = P::WANTS_HOST_PHASES.then(std::time::Instant::now);
         self.win.complete_phase(
             &mut self.regs,
             &mut self.rename,
@@ -182,6 +188,10 @@ impl Cluster {
             probe,
             cluster_id,
         );
+        if let Some(t0) = phase_t {
+            probe.host_phase(HostPhase::Complete, t0.elapsed().as_nanos() as u64);
+            phase_t = Some(std::time::Instant::now());
+        }
         commit::run(
             &self.cfg,
             &mut self.regs,
@@ -195,6 +205,10 @@ impl Cluster {
             probe,
             cluster_id,
         );
+        if let Some(t0) = phase_t {
+            probe.host_phase(HostPhase::Commit, t0.elapsed().as_nanos() as u64);
+            phase_t = Some(std::time::Instant::now());
+        }
         let (useful, wrong) = self.win.issue_phase(
             &self.regs,
             &mut self.fu,
@@ -205,6 +219,10 @@ impl Cluster {
             probe,
             cluster_id,
         );
+        if let Some(t0) = phase_t {
+            probe.host_phase(HostPhase::Issue, t0.elapsed().as_nanos() as u64);
+            phase_t = Some(std::time::Instant::now());
+        }
         fetch::run(
             &self.cfg,
             &mut self.regs,
@@ -215,9 +233,19 @@ impl Cluster {
             probe,
             cluster_id,
         );
+        if let Some(t0) = phase_t {
+            probe.host_phase(HostPhase::Fetch, t0.elapsed().as_nanos() as u64);
+            phase_t = Some(std::time::Instant::now());
+        }
         regs::account(&self.cfg, &mut self.regs, &self.win, now, useful, wrong);
+        if let Some(t0) = phase_t {
+            probe.host_phase(HostPhase::Account, t0.elapsed().as_nanos() as u64);
+        }
         if P::WANTS_POOL_STATS {
             self.emit_pool_stats(now, probe, cluster_id);
+        }
+        if P::WANTS_OCC_STATS {
+            self.emit_occ_stats(now, probe, cluster_id);
         }
     }
 
@@ -245,6 +273,19 @@ impl Cluster {
             fp_free: self.rename.fp_free as u32,
             int_held,
             fp_held,
+        });
+    }
+
+    /// Snapshot window/ready-queue occupancy at the cycle boundary, for
+    /// the `csmt-metrics` occupancy histograms. Reading two lengths is
+    /// cheap, but the emission is still gated (default off) so existing
+    /// probes' event streams stay bit-for-bit.
+    fn emit_occ_stats<P: Probe>(&self, now: u64, probe: &mut P, cluster_id: u32) {
+        probe.window_occ(WindowOccEvent {
+            cycle: now,
+            cluster: cluster_id,
+            occupied: self.win.occupancy() as u32,
+            ready: self.win.ready_len() as u32,
         });
     }
 
@@ -346,6 +387,7 @@ impl Cluster {
         cluster_id: u32,
     ) {
         self.regs.rename_stalled = false;
+        let phase_t = P::WANTS_HOST_PHASES.then(std::time::Instant::now);
         fetch::run(
             &self.cfg,
             &mut self.regs,
@@ -356,6 +398,9 @@ impl Cluster {
             probe,
             cluster_id,
         );
+        if let Some(t0) = phase_t {
+            probe.host_phase(HostPhase::Fetch, t0.elapsed().as_nanos() as u64);
+        }
         debug_assert_eq!(
             *weights,
             regs::hazard_weights(self.regs.rename_stalled, &self.regs.threads, &self.win, now),
@@ -366,6 +411,9 @@ impl Cluster {
             .record_cycle(self.cfg.issue_width, 0, 0, weights);
         if P::WANTS_POOL_STATS {
             self.emit_pool_stats(now, probe, cluster_id);
+        }
+        if P::WANTS_OCC_STATS {
+            self.emit_occ_stats(now, probe, cluster_id);
         }
     }
 }

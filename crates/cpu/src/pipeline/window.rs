@@ -73,6 +73,16 @@ impl Window {
         self.ready.is_empty()
     }
 
+    /// Valid (installed) entries — window/ROB occupancy right now.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len() - self.free_slots.len()
+    }
+
+    /// Entries with every operand available, awaiting an issue slot.
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
     /// Earliest completion-wheel bucket, if any instruction is in flight.
     ///
     /// The wheel retains stale (squashed) references until their bucket is

@@ -177,7 +177,17 @@ impl MemorySystem {
         now: u64,
         probe: &mut P,
     ) -> AccessOutcome {
+        // Host self-profiling: memory time nests inside the cluster's
+        // issue (loads) / commit (stores) phases; the profiler reports
+        // it as its own row so cache-model cost is visible separately.
+        let phase_t = P::WANTS_HOST_PHASES.then(std::time::Instant::now);
         let out = self.access_inner(node, addr, kind, now);
+        if let Some(t0) = phase_t {
+            probe.host_phase(
+                csmt_trace::HostPhase::Memory,
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
         if P::WANTS_CACHE_EVENTS {
             probe.cache_access(csmt_trace::CacheEvent {
                 cycle: now,

@@ -1,0 +1,348 @@
+//! Deterministic log-bucketed histograms.
+//!
+//! The bucketing scheme is HdrHistogram-lite: values below
+//! [`LINEAR_LIMIT`] get one exact bucket each; above it, every power-of-two
+//! octave is split into [`SUB_BUCKETS`] linear sub-buckets, so relative
+//! resolution stays within `1/SUB_BUCKETS` (12.5%) at any magnitude. All
+//! state is integer, so identical value sequences produce identical
+//! histograms on every platform — percentiles are part of the golden
+//! surface, not an approximation that drifts.
+
+use serde::Value;
+
+/// Values below this limit get an exact bucket each.
+const LINEAR_LIMIT: u64 = 32;
+/// Linear sub-buckets per power-of-two octave above the linear range.
+const SUB_BUCKETS: u64 = 8;
+/// Octaves covered above the linear range: values up to `2^(5+OCTAVES)`
+/// bucket exactly; anything larger clamps into the final bucket.
+const OCTAVES: u64 = 40;
+/// Total bucket count.
+const BUCKETS: usize = (LINEAR_LIMIT + OCTAVES * SUB_BUCKETS) as usize;
+
+/// A log-bucketed histogram of `u64` samples (cycle counts, occupancies).
+///
+/// Tracks exact count/sum/min/max alongside the buckets; percentiles are
+/// resolved to a bucket's inclusive upper bound, so they are exact for
+/// values in the linear range and within 12.5% above it, and
+/// [`p50`](LogHistogram::p50)/[`p90`](LogHistogram::p90)/
+/// [`p99`](LogHistogram::p99) of an empty histogram are 0.
+#[derive(Clone)]
+pub struct LogHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .field("p50", &self.p50())
+            .field("p99", &self.p99())
+            .finish()
+    }
+}
+
+/// Bucket index for a value: identity in the linear range, then
+/// octave/sub-bucket split.
+fn bucket_of(v: u64) -> usize {
+    if v < LINEAR_LIMIT {
+        return v as usize;
+    }
+    // The octave of v: 0 for [32,64), 1 for [64,128), ...
+    let octave = 63 - v.leading_zeros() as u64 - 5;
+    let octave = octave.min(OCTAVES - 1);
+    // Position of v within its octave, scaled to SUB_BUCKETS slots.
+    // Shift (rather than multiply-then-shift) so huge values can't
+    // overflow: SUB_BUCKETS is 2^3, so ·8 >> (octave+5) == >> (octave+2).
+    let lo = LINEAR_LIMIT << octave;
+    let sub = (v - lo) >> (octave + 2);
+    (LINEAR_LIMIT + octave * SUB_BUCKETS + sub.min(SUB_BUCKETS - 1)) as usize
+}
+
+/// Inclusive upper bound of a bucket — the value percentile queries report.
+fn bucket_upper(i: usize) -> u64 {
+    let i = i as u64;
+    if i < LINEAR_LIMIT {
+        return i;
+    }
+    let octave = (i - LINEAR_LIMIT) / SUB_BUCKETS;
+    let sub = (i - LINEAR_LIMIT) % SUB_BUCKETS;
+    let lo = LINEAR_LIMIT << octave;
+    let width = lo / SUB_BUCKETS;
+    lo + (sub + 1) * width - 1
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the inclusive upper bound of
+    /// the first bucket whose cumulative count reaches `ceil(q · count)`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// One summary line: `n=.. mean=.. p50=.. p90=.. p99=.. max=..`.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} mean={:.1} p50={} p90={} p99={} max={}",
+            self.count,
+            self.mean(),
+            self.p50(),
+            self.p90(),
+            self.p99(),
+            self.max()
+        )
+    }
+
+    /// The histogram as a JSON value: summary stats plus the non-empty
+    /// buckets as `[upper_bound, count]` pairs (sparse, in value order).
+    pub fn to_value(&self) -> Value {
+        let buckets: Vec<Value> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| Value::Array(vec![Value::U64(bucket_upper(i)), Value::U64(c)]))
+            .collect();
+        Value::Object(vec![
+            ("count".into(), Value::U64(self.count)),
+            ("sum".into(), Value::U64(self.sum)),
+            ("mean".into(), Value::F64(self.mean())),
+            ("min".into(), Value::U64(self.min())),
+            ("max".into(), Value::U64(self.max())),
+            ("p50".into(), Value::U64(self.p50())),
+            ("p90".into(), Value::U64(self.p90())),
+            ("p99".into(), Value::U64(self.p99())),
+            ("buckets".into(), Value::Array(buckets)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn linear_range_is_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..LINEAR_LIMIT {
+            h.record(v);
+        }
+        // Every value below the limit has its own bucket: quantiles are
+        // exact order statistics.
+        assert_eq!(h.quantile(1.0 / LINEAR_LIMIT as f64), 0);
+        assert_eq!(h.p50(), 15);
+        assert_eq!(h.max(), 31);
+        assert_eq!(h.quantile(1.0), 31);
+    }
+
+    #[test]
+    fn buckets_are_monotone_and_cover_u64() {
+        let mut prev = 0;
+        for v in [
+            0,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            1000,
+            4096,
+            1 << 20,
+            1 << 40,
+            u64::MAX,
+        ] {
+            let b = bucket_of(v);
+            assert!(b >= prev, "bucket_of({v}) = {b} < {prev}");
+            assert!(b < BUCKETS);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn bucket_upper_bounds_contain_their_values() {
+        for v in (0..100_000u64).step_by(37) {
+            let b = bucket_of(v);
+            assert!(
+                bucket_upper(b) >= v,
+                "upper({b}) = {} < {v}",
+                bucket_upper(b)
+            );
+            if b > 0 {
+                assert!(bucket_upper(b - 1) < v, "value {v} not above bucket {b}-1");
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_error_is_bounded_above_linear_range() {
+        let mut h = LogHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        // p50 of 1..=10000 is 5000; log-bucket error ≤ 12.5%.
+        let p50 = h.p50() as f64;
+        assert!((p50 - 5000.0).abs() / 5000.0 < 0.125, "p50 = {p50}");
+        let p99 = h.p99() as f64;
+        assert!((p99 - 9900.0).abs() / 9900.0 < 0.125, "p99 = {p99}");
+    }
+
+    #[test]
+    fn quantiles_never_exceed_max() {
+        let mut h = LogHistogram::new();
+        h.record(100);
+        h.record(101);
+        assert_eq!(h.quantile(1.0), 101);
+        assert!(h.p99() <= 101);
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_into_one() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut both = LogHistogram::new();
+        for v in 0..500u64 {
+            let target = if v.is_multiple_of(2) { &mut a } else { &mut b };
+            target.record(v * 3);
+            both.record(v * 3);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.sum(), both.sum());
+        assert_eq!(a.p50(), both.p50());
+        assert_eq!(a.p99(), both.p99());
+        assert_eq!(a.min(), both.min());
+        assert_eq!(a.max(), both.max());
+    }
+
+    #[test]
+    fn to_value_has_sparse_buckets_and_consistent_totals() {
+        let mut h = LogHistogram::new();
+        for v in [1u64, 1, 2, 70] {
+            h.record(v);
+        }
+        let v = h.to_value();
+        assert_eq!(v.get("count").and_then(Value::as_u64), Some(4));
+        assert_eq!(v.get("sum").and_then(Value::as_u64), Some(74));
+        let buckets = v.get("buckets").and_then(Value::as_array).unwrap();
+        assert_eq!(buckets.len(), 3); // values 1, 2, and 70's bucket
+        let total: u64 = buckets
+            .iter()
+            .map(|b| b.as_array().unwrap()[1].as_u64().unwrap())
+            .sum();
+        assert_eq!(total, 4);
+    }
+}

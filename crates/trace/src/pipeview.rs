@@ -299,6 +299,72 @@ mod tests {
         }
     }
 
+    /// Golden output: a scripted three-instruction sequence (a committed
+    /// load, a wrong-path squash, and a second-cluster ALU op) must
+    /// reproduce this exact trace, byte for byte. Guards the whole
+    /// format — field order, tick scaling, WP marker, sequence-number
+    /// packing — against accidental drift that Konata would reject.
+    #[test]
+    fn golden_trace_for_a_scripted_sequence() {
+        let mut buf = Vec::new();
+        {
+            let mut p = PipeviewProbe::new(&mut buf);
+            // Committed load on cluster 0, thread 1.
+            p.fetch(FetchEvent {
+                cycle: 10,
+                cluster: 0,
+                thread: 1,
+                uid: 7,
+                pc: 0x41c,
+                op: OpClass::Load,
+                wrong_path: true,
+            });
+            p.issue(stage(0, 7, 12));
+            p.writeback(stage(0, 7, 20));
+            // Wrong-path instruction fetched and squashed before issue.
+            p.fetch(FetchEvent {
+                cycle: 11,
+                cluster: 0,
+                thread: 0,
+                uid: 8,
+                pc: 0x1000,
+                op: OpClass::Branch,
+                wrong_path: true,
+            });
+            p.squash(stage(0, 8, 13));
+            p.commit(stage(0, 7, 21));
+            // A second cluster exercises the sequence-number packing.
+            p.fetch(fetch(3, 2, 30));
+            p.issue(stage(3, 2, 31));
+            p.writeback(stage(3, 2, 32));
+            p.commit(stage(3, 2, 33));
+            p.finish().expect("in-memory trace cannot hit I/O errors");
+        }
+        let golden = "\
+O3PipeView:fetch:5500:0x00001000:0:8:Branch t0 c0 WP\n\
+O3PipeView:decode:5500\n\
+O3PipeView:rename:5500\n\
+O3PipeView:dispatch:5500\n\
+O3PipeView:issue:5500\n\
+O3PipeView:complete:5500\n\
+O3PipeView:retire:0:store:0\n\
+O3PipeView:fetch:5000:0x0000041c:0:7:Load t1 c0 WP\n\
+O3PipeView:decode:5000\n\
+O3PipeView:rename:5000\n\
+O3PipeView:dispatch:5000\n\
+O3PipeView:issue:6000\n\
+O3PipeView:complete:10000\n\
+O3PipeView:retire:10500:store:0\n\
+O3PipeView:fetch:15000:0x00000408:0:3298534883330:IntAlu t1 c3\n\
+O3PipeView:decode:15000\n\
+O3PipeView:rename:15000\n\
+O3PipeView:dispatch:15000\n\
+O3PipeView:issue:15500\n\
+O3PipeView:complete:16000\n\
+O3PipeView:retire:16500:store:0\n";
+        assert_eq!(String::from_utf8(buf).unwrap(), golden);
+    }
+
     #[test]
     fn record_limit_caps_output_but_keeps_draining() {
         let mut buf = Vec::new();

@@ -147,6 +147,96 @@ pub struct RenamePoolEvent {
     pub fp_held: u32,
 }
 
+/// End-of-cycle snapshot of one cluster's instruction-window occupancy,
+/// emitted only when [`Probe::WANTS_OCC_STATS`] is set.
+///
+/// `occupied` counts valid window entries (the window doubles as the
+/// reorder buffer, so this is also ROB occupancy); `ready` counts entries
+/// with every operand available that are awaiting an issue slot. Both are
+/// instantaneous values sampled after the cycle's pipeline phases, which
+/// is what the occupancy histograms in `csmt-metrics` consume. Reading
+/// them is cheap, but the event is still gated behind its own default-off
+/// wants-flag so every existing probe keeps its event stream bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowOccEvent {
+    /// Cycle the snapshot was taken (end of this cycle's pipeline phases).
+    pub cycle: u64,
+    /// Machine-global cluster index.
+    pub cluster: u32,
+    /// Valid instruction-window / reorder-buffer entries.
+    pub occupied: u32,
+    /// Entries ready to issue (all operands available, not yet selected).
+    pub ready: u32,
+}
+
+/// A host-side simulator phase, for self-profiling where the *simulator*
+/// (not the simulated machine) spends its wall-clock time. Reported via
+/// [`Probe::host_phase`] when [`Probe::WANTS_HOST_PHASES`] is set.
+///
+/// `Memory` time is nested inside `Issue` (loads) and `Commit` (stores):
+/// the memory hierarchy is entered from those two pipeline phases, so a
+/// profiler summing all phases counts memory time twice unless it
+/// subtracts the nested share.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostPhase {
+    /// Completion: popping the wheel, wakeup, branch resolution.
+    Complete,
+    /// Per-thread in-order commit (includes store cache accesses).
+    Commit,
+    /// Oldest-first select + functional-unit issue (includes load
+    /// cache accesses).
+    Issue,
+    /// Fetch/rename/dispatch.
+    Fetch,
+    /// §4.1 issue-slot accounting scan.
+    Account,
+    /// One memory-hierarchy access (nested inside `Issue` or `Commit`).
+    Memory,
+    /// End-of-cycle [`CycleStats`] snapshot assembly in the machine loop.
+    CycleEnd,
+}
+
+impl HostPhase {
+    /// All phases, in pipeline order (with the nested/epilogue phases
+    /// last).
+    pub const ALL: [HostPhase; 7] = [
+        HostPhase::Complete,
+        HostPhase::Commit,
+        HostPhase::Issue,
+        HostPhase::Fetch,
+        HostPhase::Account,
+        HostPhase::Memory,
+        HostPhase::CycleEnd,
+    ];
+
+    /// Dense index for array-backed accumulators.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            HostPhase::Complete => 0,
+            HostPhase::Commit => 1,
+            HostPhase::Issue => 2,
+            HostPhase::Fetch => 3,
+            HostPhase::Account => 4,
+            HostPhase::Memory => 5,
+            HostPhase::CycleEnd => 6,
+        }
+    }
+
+    /// Short lowercase name for report output.
+    pub fn label(self) -> &'static str {
+        match self {
+            HostPhase::Complete => "complete",
+            HostPhase::Commit => "commit",
+            HostPhase::Issue => "issue",
+            HostPhase::Fetch => "fetch",
+            HostPhase::Account => "account",
+            HostPhase::Memory => "memory",
+            HostPhase::CycleEnd => "cycle_end",
+        }
+    }
+}
+
 /// Cumulative machine-level counters snapshotted at the end of a cycle.
 ///
 /// All fields are running totals since cycle 0 (except
@@ -213,6 +303,16 @@ pub trait Probe {
     /// pass over the instruction window, and only invariant checkers
     /// care. Existing probes keep their event streams bit-for-bit.
     const WANTS_POOL_STATS: bool = false;
+    /// Wants per-cluster [`WindowOccEvent`] snapshots each cycle.
+    /// Defaults to `false` so existing probes (and the golden digests)
+    /// keep their event streams bit-for-bit; `csmt-metrics` opts in for
+    /// its occupancy histograms.
+    const WANTS_OCC_STATS: bool = false;
+    /// Wants [`host_phase`](Probe::host_phase) wall-clock reports around
+    /// the simulator's own pipeline phases. Defaults to `false`: the
+    /// timers cost two `Instant` reads per phase per cluster-cycle, which
+    /// only the host self-profiler should pay.
+    const WANTS_HOST_PHASES: bool = false;
 
     /// Instruction fetched into a cluster's instruction window.
     #[inline]
@@ -242,6 +342,18 @@ pub trait Probe {
     /// only when [`WANTS_POOL_STATS`](Probe::WANTS_POOL_STATS) is set.
     #[inline]
     fn rename_pools(&mut self, _e: RenamePoolEvent) {}
+    /// Per-cluster window-occupancy snapshot at the end of a cycle.
+    /// Emitted only when [`WANTS_OCC_STATS`](Probe::WANTS_OCC_STATS) is
+    /// set.
+    #[inline]
+    fn window_occ(&mut self, _e: WindowOccEvent) {}
+    /// `nanos` of host wall-clock spent in one execution of `phase`.
+    /// Emitted only when
+    /// [`WANTS_HOST_PHASES`](Probe::WANTS_HOST_PHASES) is set. This is
+    /// simulator self-profiling — it reports nothing about the simulated
+    /// machine and is inherently non-deterministic across runs.
+    #[inline]
+    fn host_phase(&mut self, _phase: HostPhase, _nanos: u64) {}
     /// End of a machine cycle. `stats` is `Some` iff
     /// [`WANTS_CYCLE_STATS`](Probe::WANTS_CYCLE_STATS).
     #[inline]
@@ -260,6 +372,8 @@ impl Probe for NullProbe {
     const WANTS_CACHE_EVENTS: bool = false;
     const WANTS_CYCLE_STATS: bool = false;
     const WANTS_POOL_STATS: bool = false;
+    const WANTS_OCC_STATS: bool = false;
+    const WANTS_HOST_PHASES: bool = false;
 }
 
 impl<P: Probe + ?Sized> Probe for &mut P {
@@ -267,6 +381,8 @@ impl<P: Probe + ?Sized> Probe for &mut P {
     const WANTS_CACHE_EVENTS: bool = P::WANTS_CACHE_EVENTS;
     const WANTS_CYCLE_STATS: bool = P::WANTS_CYCLE_STATS;
     const WANTS_POOL_STATS: bool = P::WANTS_POOL_STATS;
+    const WANTS_OCC_STATS: bool = P::WANTS_OCC_STATS;
+    const WANTS_HOST_PHASES: bool = P::WANTS_HOST_PHASES;
 
     #[inline]
     fn fetch(&mut self, e: FetchEvent) {
@@ -305,6 +421,14 @@ impl<P: Probe + ?Sized> Probe for &mut P {
         (**self).rename_pools(e);
     }
     #[inline]
+    fn window_occ(&mut self, e: WindowOccEvent) {
+        (**self).window_occ(e);
+    }
+    #[inline]
+    fn host_phase(&mut self, phase: HostPhase, nanos: u64) {
+        (**self).host_phase(phase, nanos);
+    }
+    #[inline]
     fn cycle_end(&mut self, cycle: u64, stats: Option<&CycleStats>) {
         (**self).cycle_end(cycle, stats);
     }
@@ -318,6 +442,8 @@ impl<P: Probe> Probe for Option<P> {
     const WANTS_CACHE_EVENTS: bool = P::WANTS_CACHE_EVENTS;
     const WANTS_CYCLE_STATS: bool = P::WANTS_CYCLE_STATS;
     const WANTS_POOL_STATS: bool = P::WANTS_POOL_STATS;
+    const WANTS_OCC_STATS: bool = P::WANTS_OCC_STATS;
+    const WANTS_HOST_PHASES: bool = P::WANTS_HOST_PHASES;
 
     #[inline]
     fn fetch(&mut self, e: FetchEvent) {
@@ -374,6 +500,18 @@ impl<P: Probe> Probe for Option<P> {
         }
     }
     #[inline]
+    fn window_occ(&mut self, e: WindowOccEvent) {
+        if let Some(p) = self {
+            p.window_occ(e);
+        }
+    }
+    #[inline]
+    fn host_phase(&mut self, phase: HostPhase, nanos: u64) {
+        if let Some(p) = self {
+            p.host_phase(phase, nanos);
+        }
+    }
+    #[inline]
     fn cycle_end(&mut self, cycle: u64, stats: Option<&CycleStats>) {
         if let Some(p) = self {
             p.cycle_end(cycle, stats);
@@ -387,6 +525,8 @@ impl<A: Probe, B: Probe> Probe for (A, B) {
     const WANTS_CACHE_EVENTS: bool = A::WANTS_CACHE_EVENTS || B::WANTS_CACHE_EVENTS;
     const WANTS_CYCLE_STATS: bool = A::WANTS_CYCLE_STATS || B::WANTS_CYCLE_STATS;
     const WANTS_POOL_STATS: bool = A::WANTS_POOL_STATS || B::WANTS_POOL_STATS;
+    const WANTS_OCC_STATS: bool = A::WANTS_OCC_STATS || B::WANTS_OCC_STATS;
+    const WANTS_HOST_PHASES: bool = A::WANTS_HOST_PHASES || B::WANTS_HOST_PHASES;
 
     #[inline]
     fn fetch(&mut self, e: FetchEvent) {
@@ -432,6 +572,16 @@ impl<A: Probe, B: Probe> Probe for (A, B) {
     fn rename_pools(&mut self, e: RenamePoolEvent) {
         self.0.rename_pools(e);
         self.1.rename_pools(e);
+    }
+    #[inline]
+    fn window_occ(&mut self, e: WindowOccEvent) {
+        self.0.window_occ(e);
+        self.1.window_occ(e);
+    }
+    #[inline]
+    fn host_phase(&mut self, phase: HostPhase, nanos: u64) {
+        self.0.host_phase(phase, nanos);
+        self.1.host_phase(phase, nanos);
     }
     #[inline]
     fn cycle_end(&mut self, cycle: u64, stats: Option<&CycleStats>) {
@@ -519,6 +669,54 @@ mod tests {
             fp_held: 4,
         });
         assert_eq!(pair.1 .0, 1);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // the consts ARE the contract under test
+    fn occ_and_host_phase_flags_default_off_and_propagate() {
+        // Probes that predate the channels never see them.
+        assert!(!<Counter as Probe>::WANTS_OCC_STATS);
+        assert!(!<Counter as Probe>::WANTS_HOST_PHASES);
+        assert!(!<(Counter, NullProbe) as Probe>::WANTS_OCC_STATS);
+        assert!(!<(Counter, NullProbe) as Probe>::WANTS_HOST_PHASES);
+
+        struct OccWatcher(u32, u64);
+        impl Probe for OccWatcher {
+            const WANTS_OCC_STATS: bool = true;
+            const WANTS_HOST_PHASES: bool = true;
+            fn window_occ(&mut self, e: WindowOccEvent) {
+                self.0 += e.occupied;
+            }
+            fn host_phase(&mut self, _phase: HostPhase, nanos: u64) {
+                self.1 += nanos;
+            }
+        }
+        assert!(<(NullProbe, OccWatcher) as Probe>::WANTS_OCC_STATS);
+        assert!(<&mut OccWatcher as Probe>::WANTS_HOST_PHASES);
+        assert!(<Option<OccWatcher> as Probe>::WANTS_OCC_STATS);
+        let mut pair = (NullProbe, OccWatcher(0, 0));
+        pair.window_occ(WindowOccEvent {
+            cycle: 1,
+            cluster: 0,
+            occupied: 12,
+            ready: 3,
+        });
+        pair.host_phase(HostPhase::Issue, 250);
+        assert_eq!(pair.1 .0, 12);
+        assert_eq!(pair.1 .1, 250);
+    }
+
+    #[test]
+    fn host_phase_index_matches_all_order() {
+        for (i, phase) in HostPhase::ALL.into_iter().enumerate() {
+            assert_eq!(phase.index(), i, "{}", phase.label());
+        }
+        // Labels are unique (they key report tables and JSON objects).
+        for (i, a) in HostPhase::ALL.iter().enumerate() {
+            for b in HostPhase::ALL.iter().skip(i + 1) {
+                assert_ne!(a.label(), b.label());
+            }
+        }
     }
 
     #[test]

@@ -55,6 +55,17 @@ impl StatsRegistry {
         }
     }
 
+    /// Merge every section of `other` into this registry, with
+    /// [`record_value`](StatsRegistry::record_value) semantics per
+    /// section: a name already present is replaced in place (keeping its
+    /// position); new names append in `other`'s order. Merging an empty
+    /// registry is a no-op.
+    pub fn merge(&mut self, other: &StatsRegistry) {
+        for (name, value) in &other.sections {
+            self.record_value(name, value.clone());
+        }
+    }
+
     /// The section recorded under `name`, if any.
     pub fn get(&self, name: &str) -> Option<&Value> {
         self.sections
@@ -129,5 +140,65 @@ mod tests {
         let reg = StatsRegistry::new();
         assert!(reg.is_empty());
         assert_eq!(reg.to_json(), "{}");
+    }
+
+    #[test]
+    fn merge_with_empty_registry_is_a_noop_in_both_directions() {
+        let mut full = StatsRegistry::new();
+        full.record("cycles", &42u64);
+        let before = full.to_json();
+
+        // empty ← full picks up everything; full ← empty changes nothing.
+        let mut empty = StatsRegistry::new();
+        empty.merge(&full);
+        assert_eq!(empty.to_json(), before);
+
+        full.merge(&StatsRegistry::new());
+        assert_eq!(full.to_json(), before);
+    }
+
+    #[test]
+    fn merge_replaces_duplicate_names_in_place_and_appends_new_ones() {
+        let mut base = StatsRegistry::new();
+        base.record("arch", "SMT2");
+        base.record("cycles", &100u64);
+
+        let mut update = StatsRegistry::new();
+        update.record("cycles", &250u64); // duplicate: replace in place
+        update.record("ipc", &2.5f64); // new: append
+
+        base.merge(&update);
+        assert_eq!(base.len(), 3);
+        assert_eq!(base.get("cycles").and_then(Value::as_u64), Some(250));
+        // "cycles" kept its original position (before the appended "ipc").
+        assert_eq!(base.to_json(), r#"{"arch":"SMT2","cycles":250,"ipc":2.5}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null_and_stay_valid_json() {
+        let mut reg = StatsRegistry::new();
+        reg.record("nan", &f64::NAN);
+        reg.record("inf", &f64::INFINITY);
+        reg.record("neg_inf", &f64::NEG_INFINITY);
+        reg.record("finite", &1.5f64);
+        // JSON has no NaN/Infinity literals; the renderer degrades them
+        // to null so the document always parses.
+        assert_eq!(
+            reg.to_json(),
+            r#"{"nan":null,"inf":null,"neg_inf":null,"finite":1.5}"#
+        );
+        let parsed: Value = serde_json::from_str(&reg.to_json()).unwrap();
+        assert!(parsed["nan"].is_null());
+        assert_eq!(parsed["finite"].as_f64(), Some(1.5));
+    }
+
+    #[test]
+    fn non_finite_values_survive_a_merge_unchanged() {
+        let mut src = StatsRegistry::new();
+        src.record("rate", &f64::NAN);
+        let mut dst = StatsRegistry::new();
+        dst.record("rate", &0.5f64);
+        dst.merge(&src);
+        assert_eq!(dst.to_json(), r#"{"rate":null}"#);
     }
 }

@@ -22,9 +22,13 @@ use crate::probe::{CycleStats, Probe, HAZARD_LABELS};
 /// `SlotStats` of the run.
 ///
 /// A final partial interval (if any cycles ran past the last boundary)
-/// is emitted by [`finish`](IntervalSampler::finish), which [`Drop`]
-/// also calls best-effort. I/O errors are sticky: the first one stops
-/// further output and is returned by `finish`.
+/// is emitted by [`finish`](IntervalSampler::finish). I/O errors are
+/// sticky: the first one stops further output and is returned by
+/// `finish`. Call `finish` explicitly to handle that error yourself —
+/// if the sampler is instead dropped with a failed or unflushed final
+/// interval, [`Drop`] **panics** with the underlying error rather than
+/// silently truncating the heartbeat stream (unless the thread is
+/// already panicking, in which case the error goes to stderr).
 pub struct IntervalSampler<W: Write = BufWriter<File>> {
     out: W,
     interval: u64,
@@ -114,7 +118,17 @@ impl<W: Write> Probe for IntervalSampler<W> {
 
 impl<W: Write> Drop for IntervalSampler<W> {
     fn drop(&mut self) {
-        let _ = self.finish();
+        if let Err(e) = self.finish() {
+            // Losing the final interval silently would make the stream
+            // stop telescoping to the run's totals; fail loudly instead.
+            // During an unwind a second panic would abort the process,
+            // so degrade to stderr there.
+            if std::thread::panicking() {
+                eprintln!("heartbeat sampler: flushing final interval failed during panic: {e}");
+            } else {
+                panic!("heartbeat sampler: flushing final interval failed: {e}");
+            }
+        }
     }
 }
 
@@ -266,6 +280,49 @@ mod tests {
         let fin = snap(500);
         assert!((useful - fin.useful).abs() < 1e-6);
         assert_eq!(slots, fin.slots);
+    }
+
+    /// A writer whose writes always fail, for exercising the error path.
+    struct FailWriter;
+
+    impl Write for FailWriter {
+        fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+            Err(io::Error::other("disk full"))
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn finish_reports_write_errors() {
+        let mut s = IntervalSampler::new(FailWriter, 10);
+        for c in 0..10 {
+            let st = snap(c + 1);
+            s.cycle_end(c, Some(&st));
+        }
+        let err = s.finish().expect_err("failed write must surface");
+        assert_eq!(err.to_string(), "disk full");
+        // The error was consumed; a clean drop follows.
+    }
+
+    #[test]
+    fn drop_panics_instead_of_silently_dropping_the_final_interval() {
+        let result = std::panic::catch_unwind(|| {
+            let mut s = IntervalSampler::new(FailWriter, 100);
+            // One snapshot short of a boundary: the record is pending
+            // and only the drop-path flush can emit (and fail) it.
+            let st = snap(1);
+            s.cycle_end(0, Some(&st));
+        });
+        let payload = result.expect_err("drop must panic when the final flush fails");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("panic payload is the formatted message");
+        assert!(
+            msg.contains("flushing final interval failed") && msg.contains("disk full"),
+            "unexpected panic message: {msg}"
+        );
     }
 
     #[test]

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Perf-regression gate: re-run the machine_step and cluster_step benches
+# in smoke mode (--test: 1 timed repetition) and compare the fresh
+# numbers against the committed BENCH_*.json baselines with bench_gate.
+#
+#   scripts/bench_gate.sh [tolerance]     (default 0.25 = fail on >25%)
+#
+# Exit: 0 all within tolerance, 1 regression/cycle drift (from bench_gate).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOLERANCE="${1:-0.25}"
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+for bench in machine_step cluster_step; do
+  echo "==> $bench smoke run"
+  CSMT_BENCH_JSON="$OUT/$bench.json" \
+    cargo bench -q -p csmt-bench --bench "$bench" -- --test
+  echo "==> bench_gate $bench (tolerance $TOLERANCE)"
+  cargo run -q --release -p csmt-bench --bin bench_gate -- \
+    "$OUT/$bench.json" "BENCH_$bench.json" "$TOLERANCE"
+done
+
+echo "bench_gate: all benches within tolerance"

@@ -22,6 +22,10 @@ cargo test -q --workspace
 echo "==> machine_step bench smoke (fast-forward on/off, test mode)"
 cargo bench -p csmt-bench --bench machine_step -- --test
 
+echo "==> csmt-report smoke (low-end SMT2 + high-end FA4, top-down accounting)"
+cargo run -q --release -p csmt-bench --bin csmt-report -- SMT2 mgrid 0.1 1 >/dev/null
+cargo run -q --release -p csmt-bench --bin csmt-report -- FA4 mgrid 0.1 4 >/dev/null
+
 echo "==> csmt-lint (Table 2 configs + workload streams)"
 cargo run -q --release -p csmt-verify --bin csmt-lint
 

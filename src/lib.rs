@@ -19,6 +19,7 @@
 //! | [`workloads`] | swim, tomcatv, mgrid, vpenta, fmm, ocean |
 //! | [`model`] | the §2 analytic model of thread/instruction parallelism |
 //! | [`trace`] | observability: pipeline probes, heartbeats, O3PipeView |
+//! | [`metrics`] | top-down cycle accounting, histograms, Perfetto export |
 //! | [`verify`] | invariant checker, Table 2 config validation, stream linter |
 //!
 //! ## Quickstart
@@ -40,6 +41,7 @@ pub use csmt_core as core;
 pub use csmt_cpu as cpu;
 pub use csmt_isa as isa;
 pub use csmt_mem as mem;
+pub use csmt_metrics as metrics;
 pub use csmt_model as model;
 pub use csmt_trace as trace;
 pub use csmt_verify as verify;
@@ -51,6 +53,9 @@ pub mod prelude {
     pub use csmt_cpu::{ClusterConfig, Hazard, SlotStats};
     pub use csmt_isa::{DynInst, InstStream, OpClass, SyncOp};
     pub use csmt_mem::{MemConfig, MemorySystem};
+    pub use csmt_metrics::{
+        AttributionTree, HostProfiler, LogHistogram, MetricsProbe, MetricsReport, PerfettoTrace,
+    };
     pub use csmt_model::{AppPoint, ArchModel, Region};
     pub use csmt_trace::{IntervalSampler, NullProbe, PipeviewProbe, Probe, StatsRegistry};
     pub use csmt_verify::{InvariantProbe, Violation, ViolationKind};

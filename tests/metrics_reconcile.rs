@@ -1,0 +1,272 @@
+//! `csmt-metrics` acceptance tests.
+//!
+//! Three guarantees, on real runs of every distinct Table 2 architecture
+//! (mgrid, scale 0.2, seed `0xC5317` — the golden-determinism
+//! configuration):
+//!
+//! 1. **Digest neutrality** — composing a `MetricsProbe` next to the
+//!    golden `EventDigest` leaves the digest (and the `RunResult`)
+//!    bit-for-bit unchanged: turning metrics on cannot perturb the
+//!    simulation.
+//! 2. **Exact reconciliation** — the top-down attribution tree's leaves
+//!    are bit-equal (`f64 ==`, no epsilon) to the run's `SlotStats`
+//!    accumulators, and its totals match the run's slot/cycle/committed
+//!    counts.
+//! 3. **Loadable Perfetto export** — the exported trace-event JSON
+//!    parses back and passes the schema validator.
+
+use csmt_core::ArchKind;
+use csmt_cpu::Hazard;
+use csmt_metrics::{validate_trace, MetricsProbe};
+use csmt_trace::{CacheEvent, CycleStats, FetchEvent, Probe, StageEvent, SyncEvent};
+use csmt_workloads::{by_name, simulate_probed};
+use std::fmt::Write as _;
+
+const SCALE: f64 = 0.2;
+const SEED: u64 = 0xC5_317;
+const APP: &str = "mgrid";
+
+/// The seven distinct Table 2 configurations (SMT8 is an alias of FA8).
+const ARCHS: [ArchKind; 7] = [
+    ArchKind::Fa8,
+    ArchKind::Fa4,
+    ArchKind::Fa2,
+    ArchKind::Fa1,
+    ArchKind::Smt4,
+    ArchKind::Smt2,
+    ArchKind::Smt1,
+];
+
+/// FNV-1a over the full probe event stream, identical to the golden
+/// determinism test's digest (same absorb format, so equal streams hash
+/// equal here iff they would there).
+struct EventDigest {
+    h: u64,
+    buf: String,
+}
+
+impl EventDigest {
+    fn new() -> Self {
+        EventDigest {
+            h: 0xcbf2_9ce4_8422_2325,
+            buf: String::with_capacity(256),
+        }
+    }
+    fn absorb(&mut self, tag: &str, payload: std::fmt::Arguments<'_>) {
+        self.buf.clear();
+        let _ = write!(self.buf, "{tag}:{payload};");
+        for &b in self.buf.as_bytes() {
+            self.h ^= u64::from(b);
+            self.h = self.h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+impl Probe for EventDigest {
+    fn fetch(&mut self, e: FetchEvent) {
+        self.absorb("F", format_args!("{e:?}"));
+    }
+    fn rename(&mut self, e: StageEvent) {
+        self.absorb("R", format_args!("{e:?}"));
+    }
+    fn issue(&mut self, e: StageEvent) {
+        self.absorb("I", format_args!("{e:?}"));
+    }
+    fn writeback(&mut self, e: StageEvent) {
+        self.absorb("W", format_args!("{e:?}"));
+    }
+    fn commit(&mut self, e: StageEvent) {
+        self.absorb("C", format_args!("{e:?}"));
+    }
+    fn squash(&mut self, e: StageEvent) {
+        self.absorb("Q", format_args!("{e:?}"));
+    }
+    fn cache_access(&mut self, e: CacheEvent) {
+        self.absorb("M", format_args!("{e:?}"));
+    }
+    fn sync_event(&mut self, e: SyncEvent) {
+        self.absorb("S", format_args!("{e:?}"));
+    }
+    fn cycle_end(&mut self, cycle: u64, stats: Option<&CycleStats>) {
+        self.absorb("E", format_args!("{cycle}:{stats:?}"));
+    }
+}
+
+/// One pass over every Table 2 architecture proving guarantees 1 and 2
+/// together: the digest next to a `MetricsProbe` equals the digest
+/// alone, and the metrics distilled from that very same paired run
+/// reconcile exactly with the `RunResult`.
+#[test]
+fn metrics_probe_is_digest_neutral_and_reconciles_exactly() {
+    let app = by_name(APP).expect("paper app");
+    for arch in ARCHS {
+        // Reference: digest alone (what the golden test pins).
+        let mut solo = EventDigest::new();
+        let r_solo = simulate_probed(
+            &app,
+            arch.chip(),
+            1,
+            SCALE,
+            SEED,
+            csmt_mem::MemConfig::table3(),
+            &mut solo,
+        );
+        // Same run with metrics composed in. The MetricsProbe enables
+        // extra channels (cycle stats, occupancy) — none of which may
+        // leak into the digest's stream or the run's behavior.
+        let mut paired = (EventDigest::new(), MetricsProbe::new(500));
+        let r = simulate_probed(
+            &app,
+            arch.chip(),
+            1,
+            SCALE,
+            SEED,
+            csmt_mem::MemConfig::table3(),
+            &mut paired,
+        );
+        assert_eq!(
+            solo.h,
+            paired.0.h,
+            "{}: metrics probe perturbed the event stream",
+            arch.name()
+        );
+        assert_eq!(r_solo.cycles, r.cycles, "{}", arch.name());
+        assert_eq!(r_solo.slots, r.slots, "{}", arch.name());
+        assert_eq!(r_solo.mem, r.mem, "{}", arch.name());
+
+        let report = paired.1.finish();
+        let tree = &report.topdown;
+        // Totals.
+        assert_eq!(tree.total_slots, r.slots.slots, "{}", arch.name());
+        assert_eq!(tree.cycles, r.slots.cycles, "{}", arch.name());
+        assert_eq!(tree.committed, r.slots.committed, "{}", arch.name());
+        // Leaves: bit-equal copies of the SlotStats accumulators.
+        let useful = tree.node("useful").expect("useful leaf");
+        assert!(
+            useful.slots == r.slots.useful,
+            "{}: useful {} != {}",
+            arch.name(),
+            useful.slots,
+            r.slots.useful
+        );
+        let leaf_of = |h: Hazard| match h {
+            Hazard::Other => "rename_squash",
+            Hazard::Structural => "issue_retire_bound",
+            Hazard::Memory => "memory_bound",
+            Hazard::Data => "data_dependence",
+            Hazard::Control => "bad_speculation",
+            Hazard::Sync => "sync_bound",
+            Hazard::Fetch => "fetch_starved",
+        };
+        for h in Hazard::ALL {
+            let leaf = tree.node(leaf_of(h)).expect("hazard leaf");
+            assert!(
+                leaf.slots == r.slots.wasted[h.index()],
+                "{}: {} {} != wasted[{}] {}",
+                arch.name(),
+                leaf.name,
+                leaf.slots,
+                h.label(),
+                r.slots.wasted[h.index()]
+            );
+        }
+        // Conservation: leaves sum back to the offered slots (the same
+        // guarantee SlotStats::record_cycle maintains per cycle).
+        assert!(
+            (tree.leaf_total() - r.slots.slots as f64).abs() < 1e-6 * r.slots.slots as f64,
+            "{}: leaf total {} vs slots {}",
+            arch.name(),
+            tree.leaf_total(),
+            r.slots.slots
+        );
+        // Every committed instruction contributed exactly one lifetime
+        // sample and one per-thread committed count.
+        let lifetimes: u64 = report
+            .lifetime_by_cluster
+            .iter()
+            .map(csmt_metrics::LogHistogram::count)
+            .sum();
+        assert_eq!(lifetimes, r.slots.committed, "{}", arch.name());
+        let per_thread: u64 = report.committed_by_thread.iter().map(|(_, n)| n).sum();
+        assert_eq!(per_thread, r.slots.committed, "{}", arch.name());
+    }
+}
+
+/// Guarantee 3: the Perfetto export of a real run parses back and is
+/// schema-clean, with both slice and counter tracks present.
+#[test]
+fn perfetto_export_from_a_real_run_loads_cleanly() {
+    let app = by_name(APP).expect("paper app");
+    let mut probe = MetricsProbe::new(500);
+    let r = simulate_probed(
+        &app,
+        ArchKind::Smt2.chip(),
+        1,
+        SCALE,
+        SEED,
+        csmt_mem::MemConfig::table3(),
+        &mut probe,
+    );
+    let report = probe.finish();
+    let json = report.trace.to_json();
+    let parsed: serde::Value = serde_json::from_str(&json).expect("trace JSON parses");
+    let n = validate_trace(&parsed).expect("trace is schema-clean");
+    assert_eq!(n, report.trace.len());
+    let events = parsed
+        .get("traceEvents")
+        .and_then(serde::Value::as_array)
+        .expect("traceEvents");
+    let count_ph = |ph: &str| {
+        events
+            .iter()
+            .filter(|e| e.get("ph").and_then(serde::Value::as_str) == Some(ph))
+            .count()
+    };
+    assert!(count_ph("X") > 0, "no occupancy slices");
+    assert!(count_ph("C") > 0, "no counter samples");
+    // One named track per hardware context that fetched anything: SMT2
+    // has 2 clusters x 4 contexts on one chip.
+    let thread_names = events
+        .iter()
+        .filter(|e| e.get("name").and_then(serde::Value::as_str) == Some("thread_name"))
+        .count();
+    assert_eq!(thread_names, 8);
+    assert!(r.cycles > 0);
+}
+
+/// The histograms of a real run carry plausible pipeline numbers — a
+/// smoke check that the channels are wired to the right quantities
+/// (lifetimes at least the pipeline depth, occupancy within the window).
+#[test]
+fn histograms_carry_pipeline_shaped_values() {
+    let app = by_name(APP).expect("paper app");
+    let mut probe = MetricsProbe::new(500);
+    let r = simulate_probed(
+        &app,
+        ArchKind::Fa4.chip(),
+        1,
+        SCALE,
+        SEED,
+        csmt_mem::MemConfig::table3(),
+        &mut probe,
+    );
+    let report = probe.finish();
+    // Fetch→commit takes at least the front-end + commit latency.
+    for (c, h) in report.lifetime_by_cluster.iter().enumerate() {
+        assert!(h.count() > 0, "cluster {c} committed nothing");
+        assert!(h.min() >= 2, "cluster {c}: lifetime {} too short", h.min());
+    }
+    // Loads were observed, and misses resided in MSHRs.
+    assert!(report.load_use.count() > 0);
+    assert!(report.mshr_residency.count() > 0);
+    assert!(report.mshr_residency.min() >= 1);
+    // Occupancy snapshots: one per cluster per cycle, bounded by the
+    // window size.
+    let window = ArchKind::Fa4.chip().cluster.window_entries as u64;
+    for (c, h) in report.window_occ.iter().enumerate() {
+        assert_eq!(h.count(), r.cycles, "cluster {c} occupancy samples");
+        assert!(h.max() <= window, "cluster {c}: occupancy above window");
+    }
+    // The IPC timeline averages back to the run's IPC.
+    assert!(!report.ipc_timeline.is_empty());
+}
