@@ -60,7 +60,21 @@ const SCENARIOS: [(&str, ArchKind, usize, u64); 2] = [
 
 /// Run one scenario to completion; returns machine cycles simulated.
 fn run_machine(kind: ArchKind, chips: usize, loads: u64, fastforward: bool) -> u64 {
+    run_machine_sched(kind, chips, loads, fastforward, "static")
+}
+
+/// [`run_machine`] through an explicit thread-to-cluster scheduling policy
+/// (the `sched_overhead` gate scenarios).
+fn run_machine_sched(
+    kind: ArchKind,
+    chips: usize,
+    loads: u64,
+    fastforward: bool,
+    policy: &str,
+) -> u64 {
     let mut m = Machine::new(kind.chip(), chips, MemConfig::table3(), 0xC5_317);
+    m.set_scheduler(csmt_core::sched::by_name(policy).expect("known policy"))
+        .expect("policy valid for this arch");
     m.set_fastforward(fastforward);
     let threads = m.hw_thread_capacity();
     m.attach_threads(
@@ -120,6 +134,32 @@ fn steps_per_sec_summary(test_mode: bool) {
              \"fastforward_cycles_per_sec\": {:.0}, \"speedup\": {speedup:.2}, \
              \"cycles_per_run\": {cycles}}}",
             by_mode[0], by_mode[1]
+        ));
+    }
+    // Scheduler-seam cost: the smt2_lowend workload again, through the
+    // pluggable scheduler. `static` must match smt2_lowend/fastforward
+    // bit-for-bit and within noise of its throughput (the seam is one
+    // branch per loop iteration); `hazard_pairing` additionally pays the
+    // epoch snapshot/rebalance every quantum (no migrations fire — the
+    // threads are identical — so cycles stay bit-for-bit too).
+    for (name, policy) in [
+        ("smt2_sched_static", "static"),
+        ("smt2_sched_hazard", "hazard_pairing"),
+    ] {
+        let (kind, chips, loads) = (ArchKind::Smt2, 1, 1200);
+        let mut cycles = black_box(run_machine_sched(kind, chips, loads, true, policy));
+        let t0 = Instant::now();
+        let mut total_cycles = 0u64;
+        for _ in 0..reps {
+            cycles = black_box(run_machine_sched(kind, chips, loads, true, policy));
+            total_cycles += cycles;
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        let sps = total_cycles as f64 / secs;
+        println!("machine_step/{name}: {sps:.0} cycles/sec ({cycles} cycles/run)");
+        report.push(format!(
+            "    {{\"scenario\": \"{name}\", \"steps_per_sec\": {sps:.0}, \
+             \"cycles_per_run\": {cycles}}}"
         ));
     }
     if let Some(path) = std::env::var_os("CSMT_BENCH_JSON") {

@@ -61,15 +61,33 @@ fn main() {
         eprintln!("bench_gate: {fresh_path} must be a JSON array of scenario results");
         std::process::exit(2);
     };
-    let Some(base_results) = base
-        .get("gate")
-        .or_else(|| base.get("post_refactor"))
-        .and_then(|p| p.get("results"))
-        .and_then(Value::as_array)
-    else {
+    // Every gating section present in the baseline contributes scenarios:
+    // `gate` (the original smoke-mode floors) and `sched_overhead` (the
+    // scheduler-seam scenarios). Files predating the gate fall back to
+    // `post_refactor`.
+    let mut base_results: Vec<&Value> = Vec::new();
+    for key in ["gate", "sched_overhead"] {
+        if let Some(arr) = base
+            .get(key)
+            .and_then(|p| p.get("results"))
+            .and_then(Value::as_array)
+        {
+            base_results.extend(arr);
+        }
+    }
+    if base_results.is_empty() {
+        if let Some(arr) = base
+            .get("post_refactor")
+            .and_then(|p| p.get("results"))
+            .and_then(Value::as_array)
+        {
+            base_results.extend(arr);
+        }
+    }
+    if base_results.is_empty() {
         eprintln!("bench_gate: {base_path} has neither gate.results nor post_refactor.results");
         std::process::exit(2);
-    };
+    }
 
     let mut failures = 0u32;
     for b in base_results {

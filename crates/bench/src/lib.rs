@@ -51,6 +51,11 @@ pub const ENV_KNOBS: &[(&str, &str, &str)] = &[
         "disable the event-driven stall fast-forward (results are identical either way)",
     ),
     (
+        "CSMT_SCHED=<policy>",
+        "all simulators",
+        "thread-to-cluster allocation policy: static (default), barrier, hazard_pairing; dynamic policies fall back to static on fixed-assignment archs",
+    ),
+    (
         "CSMT_JSON_DIR=<dir>",
         "fig*, diagnose",
         "also write each figure/sweep as <dir>/<name>.json for external plotting",

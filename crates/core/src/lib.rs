@@ -10,6 +10,9 @@
 //!   Polaris fork-join semantics the paper's applications use);
 //! * [`machine`] — the low-end (1 chip) and high-end (4-chip DASH-like)
 //!   machines and the cycle loop;
+//! * [`sched`] — the thread-to-cluster scheduling seam: pluggable
+//!   [`ThreadScheduler`] policies (static round-robin, barrier rebalance,
+//!   hazard pairing) with drain-based thread migration;
 //! * [`result`] — per-run statistics: cycles, §4.1 issue-slot breakdown,
 //!   memory counters, Figure 6 coordinates.
 //!
@@ -44,8 +47,13 @@ pub mod configs;
 pub mod machine;
 pub mod result;
 pub mod runtime;
+pub mod sched;
 
 pub use configs::{ArchKind, ChipConfig, ConfigError, CHIP_ISSUE_WIDTH};
 pub use machine::{Machine, Placement};
 pub use result::RunResult;
 pub use runtime::{Action, Runtime, ThreadId};
+pub use sched::{
+    BarrierRebalance, HazardPairing, Migration, SchedConfigError, SchedSnapshot, StaticRoundRobin,
+    ThreadObs, ThreadScheduler, Topology, MIGRATION_COST,
+};

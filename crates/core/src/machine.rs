@@ -6,18 +6,28 @@
 //! ("a simple workstation"); the high-end machine is `chips = 4` (the
 //! DASH-like CC-NUMA of Figure 3).
 //!
-//! Software threads are attached in order and assigned round-robin across a
-//! chip's clusters (thread *i* on chip `i / threads_per_chip`, cluster
-//! `i % clusters` of that chip), which spreads work the way an OS scheduler
-//! would.
+//! Software threads are placed by a pluggable [`ThreadScheduler`] (module
+//! [`crate::sched`]). The default, [`StaticRoundRobin`], reproduces the
+//! paper: thread *i* on chip `i / threads_per_chip`, cluster `i % clusters`
+//! of that chip, the way an OS scheduler would spread work — and never
+//! migrates. Dynamic policies may additionally move threads between
+//! contexts at deterministic epochs; migration is drain-based (the context
+//! is parked, in-flight work retires or is squashed, then the thread
+//! spends [`MIGRATION_COST`] cycles in transit before resuming).
 
 use crate::configs::ChipConfig;
 use crate::result::RunResult;
 use crate::runtime::{Action, Runtime, ThreadId};
-use csmt_cpu::{Cluster, ClusterEvent, ThreadState};
+use crate::sched::{
+    by_name, Migration, SchedConfigError, SchedSnapshot, StaticRoundRobin, ThreadObs,
+    ThreadScheduler, Topology, MIGRATION_COST,
+};
+use csmt_cpu::{Cluster, ClusterEvent, DetachedThread, ThreadState};
 use csmt_isa::InstStream;
 use csmt_mem::{MemConfig, MemorySystem};
-use csmt_trace::{CycleStats, NullProbe, Probe, SyncEvent, SyncEventKind};
+use csmt_trace::{
+    CycleStats, MigrationEvent, MigrationEventKind, NullProbe, Probe, SyncEvent, SyncEventKind,
+};
 
 /// Where a software thread lives: (chip, cluster-in-chip, context-in-cluster).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,10 +40,43 @@ pub struct Placement {
     pub ctx: usize,
 }
 
+/// Round-robin placement of software thread `tid` on a machine of chips
+/// with `clusters` clusters each and `threads_per_chip` contexts per chip:
+/// thread *i* lands on chip `i / threads_per_chip`, cluster
+/// `i % clusters` of that chip — the way an OS scheduler would spread
+/// work. This is the arithmetic behind the default
+/// [`StaticRoundRobin`](crate::sched::StaticRoundRobin) policy.
+pub fn round_robin_placement(tid: ThreadId, clusters: usize, threads_per_chip: usize) -> Placement {
+    let chip = tid / threads_per_chip;
+    let within = tid % threads_per_chip;
+    Placement {
+        chip,
+        cluster: within % clusters,
+        ctx: within / clusters,
+    }
+}
+
 /// One chip: its clusters. The chip's L1/L2 live in the shared
 /// [`MemorySystem`] under the chip's node index.
 struct Chip {
     clusters: Vec<Cluster>,
+}
+
+/// A thread between contexts: detached from its source, not yet attached at
+/// its destination.
+struct Transit {
+    tid: ThreadId,
+    to: Placement,
+    /// Earliest cycle the thread may attach at `to` (depart +
+    /// [`MIGRATION_COST`]; it also waits for the destination to be free).
+    ready_at: u64,
+    /// Cycle the scheduler marked the thread for migration — the base of
+    /// the `migration_wait_cycles` accounting.
+    held_at: u64,
+    detached: DetachedThread,
+    /// State to resume in at the destination (`WaitingSync` flips to
+    /// `Running` if the thread's barrier releases mid-flight).
+    resume_as: ThreadState,
 }
 
 /// A complete machine ready to run a multithreaded application.
@@ -43,6 +86,10 @@ pub struct Machine {
     mem: MemorySystem,
     runtime: Runtime,
     placements: Vec<Placement>,
+    /// Reverse map of `placements`: machine-global context slot → occupying
+    /// software thread. Indexed by [`Machine::slot`]. Maintained on attach
+    /// and on every migration; the single source of truth for `tid_at`.
+    rev_map: Vec<Option<ThreadId>>,
     cycle: u64,
     /// Σ over cycles of the number of threads making progress (Fig 6).
     running_thread_cycles: u64,
@@ -54,6 +101,29 @@ pub struct Machine {
     fastforward: bool,
     /// Scratch: per-cluster hazard weights, frozen for a skipped span.
     stall_weights_buf: Vec<[f64; 7]>,
+    /// The thread-to-cluster allocation policy (see [`crate::sched`]).
+    sched: Box<dyn ThreadScheduler + Send>,
+    /// Cached `sched.is_dynamic()`: when false, the run loop skips all
+    /// epoch/migration machinery and stays on the golden-digest path.
+    sched_dynamic: bool,
+    /// Threads currently between contexts.
+    in_transit: Vec<Transit>,
+    /// Per thread: destination and hold-cycle while its context drains
+    /// toward a migration (`None` when not draining).
+    migrate_dest: Vec<Option<(Placement, u64)>>,
+    /// Cycle of the last scheduler epoch (quantum epochs fire at
+    /// `last_epoch + quantum`).
+    last_epoch: u64,
+    /// Barrier-episode count at the last epoch (change ⇒ barrier epoch).
+    prev_barrier_episodes: u64,
+    /// Exited-thread count at the last epoch (change ⇒ exit epoch).
+    prev_done_count: usize,
+    /// Whether the initial-placement `Attach` probe events were emitted.
+    attach_emitted: bool,
+    /// Completed thread migrations.
+    migrations: u64,
+    /// Σ cycles from hold to destination resume, over completed migrations.
+    migration_wait: u64,
 }
 
 impl Machine {
@@ -71,18 +141,103 @@ impl Machine {
             .collect();
         let max_cluster_events = cfg.cluster.hw_threads;
         let n_clusters = n_chips * cfg.clusters;
+        let sched = Self::sched_from_env(&cfg);
+        let sched_dynamic = sched.is_dynamic();
         Machine {
             cfg,
             chips,
             mem: MemorySystem::new(mem_cfg, n_chips, rng.fork(u64::MAX).next_u64()),
             runtime: Runtime::new(0),
             placements: Vec::new(),
+            rev_map: vec![None; n_clusters * cfg.cluster.hw_threads],
             cycle: 0,
             running_thread_cycles: 0,
             events_buf: Vec::with_capacity(max_cluster_events),
             actions_buf: Vec::new(),
             fastforward: Self::fastforward_env_enabled(),
             stall_weights_buf: Vec::with_capacity(n_clusters),
+            sched,
+            sched_dynamic,
+            in_transit: Vec::new(),
+            migrate_dest: Vec::new(),
+            last_epoch: 0,
+            prev_barrier_episodes: 0,
+            prev_done_count: 0,
+            attach_emitted: false,
+            migrations: 0,
+            migration_wait: 0,
+        }
+    }
+
+    /// Scheduling policy selected by the `CSMT_SCHED` environment variable
+    /// (default `static`). A dynamic policy requested on a fixed-assignment
+    /// architecture silently degrades to static — FA machines pin thread
+    /// assignment by construction, and figure sweeps set one `CSMT_SCHED`
+    /// for every architecture. Unknown names panic (a typo should not
+    /// silently change the experiment).
+    fn sched_from_env(cfg: &ChipConfig) -> Box<dyn ThreadScheduler + Send> {
+        let Some(name) = std::env::var_os("CSMT_SCHED") else {
+            return Box::new(StaticRoundRobin);
+        };
+        let name = name.to_string_lossy().into_owned();
+        let sched = by_name(&name).unwrap_or_else(|| {
+            panic!(
+                "unknown CSMT_SCHED policy {name:?} (expected one of {:?})",
+                crate::sched::POLICY_NAMES
+            )
+        });
+        if sched.is_dynamic() && Self::fixed_assignment(cfg) {
+            return Box::new(StaticRoundRobin);
+        }
+        sched
+    }
+
+    /// Whether `cfg` is a fixed-assignment (FA) architecture: one hardware
+    /// context per cluster, so thread-to-cluster assignment is pinned by
+    /// construction and migration is meaningless.
+    fn fixed_assignment(cfg: &ChipConfig) -> bool {
+        cfg.cluster.hw_threads == 1
+    }
+
+    /// Install a scheduling policy, overriding the `CSMT_SCHED` default.
+    /// Must be called before [`attach_threads`](Machine::attach_threads).
+    /// Rejects configurations the machine refuses to run (a dynamic policy
+    /// on a fixed-assignment architecture, a zero rebalance quantum).
+    pub fn set_scheduler(
+        &mut self,
+        sched: Box<dyn ThreadScheduler + Send>,
+    ) -> Result<(), SchedConfigError> {
+        assert!(
+            self.placements.is_empty(),
+            "set_scheduler before attach_threads"
+        );
+        if sched.quantum() == Some(0) {
+            return Err(SchedConfigError::ZeroQuantum);
+        }
+        if sched.is_dynamic() && Self::fixed_assignment(&self.cfg) {
+            return Err(SchedConfigError::DynamicOnFixedAssignment);
+        }
+        self.sched_dynamic = sched.is_dynamic();
+        self.sched = sched;
+        Ok(())
+    }
+
+    /// Name of the active scheduling policy.
+    pub fn scheduler_name(&self) -> &'static str {
+        self.sched.name()
+    }
+
+    /// Completed thread migrations so far.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Machine shape, as scheduler policies see it.
+    pub fn topology(&self) -> Topology {
+        Topology {
+            chips: self.chips.len(),
+            clusters_per_chip: self.cfg.clusters,
+            ctx_per_cluster: self.cfg.cluster.hw_threads,
         }
     }
 
@@ -111,14 +266,17 @@ impl Machine {
         self.chips.len() * self.cfg.threads_per_chip()
     }
 
-    /// Placement of software thread `tid` under the round-robin policy.
+    /// Current placement of software thread `tid`. Reads the stored
+    /// placement table (kept up to date across migrations), so it is only
+    /// valid after [`attach_threads`](Machine::attach_threads); panics for
+    /// unattached thread ids.
     pub fn placement_of(&self, tid: ThreadId) -> Placement {
-        let per_chip = self.cfg.threads_per_chip();
-        let chip = tid / per_chip;
-        let within = tid % per_chip;
-        let cluster = within % self.cfg.clusters;
-        let ctx = within / self.cfg.clusters;
-        Placement { chip, cluster, ctx }
+        self.placements[tid]
+    }
+
+    /// Machine-global context-slot index of a placement (the `rev_map` key).
+    fn slot(&self, p: Placement) -> usize {
+        (p.chip * self.cfg.clusters + p.cluster) * self.cfg.cluster.hw_threads + p.ctx
     }
 
     /// Attach the application's software threads (one stream per thread).
@@ -144,18 +302,32 @@ impl Machine {
         );
         self.runtime = Runtime::with_groups(streams.iter().map(|(_, g)| *g).collect());
         self.actions_buf.reserve(streams.len());
+        self.migrate_dest = vec![None; streams.len()];
+        let topo = self.topology();
+        let placements = self.sched.initial_placement(streams.len(), &topo);
+        assert_eq!(
+            placements.len(),
+            streams.len(),
+            "scheduler must place every thread"
+        );
         for (tid, (s, _)) in streams.into_iter().enumerate() {
-            let p = self.placement_of(tid);
+            let p = placements[tid];
+            assert!(
+                p.chip < self.chips.len()
+                    && p.cluster < self.cfg.clusters
+                    && p.ctx < self.cfg.cluster.hw_threads,
+                "initial placement {p:?} out of range"
+            );
             self.chips[p.chip].clusters[p.cluster].attach_thread(p.ctx, s);
             self.placements.push(p);
+            let slot = self.slot(p);
+            assert!(self.rev_map[slot].is_none(), "placement collision at {p:?}");
+            self.rev_map[slot] = Some(tid);
         }
     }
 
     fn tid_at(&self, chip: usize, cluster: usize, ctx: usize) -> Option<ThreadId> {
-        // Inverse of placement_of; placements are dense so recompute.
-        let per_chip = self.cfg.threads_per_chip();
-        let tid = chip * per_chip + ctx * self.cfg.clusters + cluster;
-        (tid < self.placements.len()).then_some(tid)
+        self.rev_map[self.slot(Placement { chip, cluster, ctx })]
     }
 
     /// Advance one cycle.
@@ -187,6 +359,10 @@ impl Machine {
                     let (ctx, is_done, op) = match ev {
                         ClusterEvent::SyncReached { thread, op } => (thread, false, Some(op)),
                         ClusterEvent::ThreadDone { thread } => (thread, true, None),
+                        ClusterEvent::MigrationDrained { thread } => {
+                            self.detach_drained(chip_idx, cluster_idx, thread, now, probe);
+                            continue;
+                        }
                     };
                     let tid = self
                         .tid_at(chip_idx, cluster_idx, ctx)
@@ -211,8 +387,16 @@ impl Machine {
                     }
                     for a in 0..self.actions_buf.len() {
                         let Action::Resume(t) = self.actions_buf[a];
-                        let p = self.placements[t];
-                        self.chips[p.chip].clusters[p.cluster].resume_thread(p.ctx);
+                        if let Some(tr) = self.in_transit.iter_mut().find(|tr| tr.tid == t) {
+                            // Released while between contexts: arrive
+                            // runnable instead of parked.
+                            if tr.resume_as == ThreadState::WaitingSync {
+                                tr.resume_as = ThreadState::Running;
+                            }
+                        } else {
+                            let p = self.placements[t];
+                            self.chips[p.chip].clusters[p.cluster].resume_thread(p.ctx);
+                        }
                         if P::WANTS_INST_EVENTS {
                             probe.sync_event(SyncEvent {
                                 cycle: now,
@@ -336,9 +520,299 @@ impl Machine {
         }
     }
 
+    /// A held context finished draining: detach its thread and put it in
+    /// transit. Only `Running`/`WrongPath` contexts drain asynchronously
+    /// (parked states detach at the epoch itself), so the thread resumes
+    /// `Running` at its destination.
+    fn detach_drained<P: Probe>(
+        &mut self,
+        chip: usize,
+        cluster: usize,
+        ctx: usize,
+        now: u64,
+        probe: &mut P,
+    ) {
+        let tid = self
+            .tid_at(chip, cluster, ctx)
+            .expect("drain event from unattached context");
+        let (to, held_at) = self.migrate_dest[tid]
+            .take()
+            .expect("drained context has no migration destination");
+        let detached = self.chips[chip].clusters[cluster].detach_thread(ctx);
+        self.depart(tid, to, held_at, ThreadState::Running, detached, now, probe);
+    }
+
+    /// Move a just-detached thread into transit and free its source slot.
+    #[allow(clippy::too_many_arguments)]
+    fn depart<P: Probe>(
+        &mut self,
+        tid: ThreadId,
+        to: Placement,
+        held_at: u64,
+        resume_as: ThreadState,
+        detached: DetachedThread,
+        now: u64,
+        probe: &mut P,
+    ) {
+        let from = self.placements[tid];
+        let slot = self.slot(from);
+        debug_assert_eq!(
+            self.rev_map[slot],
+            Some(tid),
+            "reverse map out of sync at depart"
+        );
+        self.rev_map[slot] = None;
+        self.in_transit.push(Transit {
+            tid,
+            to,
+            ready_at: now + MIGRATION_COST,
+            held_at,
+            detached,
+            resume_as,
+        });
+        if P::WANTS_SCHED_EVENTS {
+            probe.migration(MigrationEvent {
+                cycle: now,
+                thread: tid as u32,
+                cluster: (from.chip * self.cfg.clusters + from.cluster) as u32,
+                ctx: from.ctx as u32,
+                kind: MigrationEventKind::Depart,
+                wait: 0,
+            });
+        }
+    }
+
+    /// Attach every in-transit thread whose transit delay has elapsed and
+    /// whose destination context is free.
+    fn process_arrivals<P: Probe>(&mut self, probe: &mut P) {
+        let now = self.cycle;
+        let mut i = 0;
+        while i < self.in_transit.len() {
+            let due = self.in_transit[i].ready_at <= now
+                && self.rev_map[self.slot(self.in_transit[i].to)].is_none();
+            if !due {
+                i += 1;
+                continue;
+            }
+            let tr = self.in_transit.remove(i);
+            let slot = self.slot(tr.to);
+            self.chips[tr.to.chip].clusters[tr.to.cluster].attach_migrated(
+                tr.to.ctx,
+                tr.detached,
+                tr.resume_as,
+            );
+            self.placements[tr.tid] = tr.to;
+            self.rev_map[slot] = Some(tr.tid);
+            self.migrations += 1;
+            let wait = now - tr.held_at;
+            self.migration_wait += wait;
+            if P::WANTS_SCHED_EVENTS {
+                probe.migration(MigrationEvent {
+                    cycle: now,
+                    thread: tr.tid as u32,
+                    cluster: (tr.to.chip * self.cfg.clusters + tr.to.cluster) as u32,
+                    ctx: tr.to.ctx as u32,
+                    kind: MigrationEventKind::Arrive,
+                    wait,
+                });
+            }
+        }
+    }
+
+    /// Fire a scheduler epoch if one is due: quantum epochs at
+    /// `last_epoch + quantum`, barrier/exit epochs when the runtime's
+    /// barrier-episode or exited-thread counts changed since the last
+    /// epoch. All triggers are simulated-time events, so epochs are
+    /// deterministic for a given (policy, workload, seed).
+    fn maybe_epoch<P: Probe>(&mut self, probe: &mut P) {
+        let now = self.cycle;
+        let mut fire = false;
+        if let Some(q) = self.sched.quantum() {
+            if now >= self.last_epoch + q {
+                fire = true;
+            }
+        }
+        if self.sched.wants_barrier_epochs() {
+            let (barriers, _) = self.runtime.stats();
+            if barriers != self.prev_barrier_episodes
+                || self.runtime.done_count() != self.prev_done_count
+            {
+                fire = true;
+            }
+        }
+        if !fire {
+            return;
+        }
+        self.last_epoch = now;
+        self.prev_barrier_episodes = self.runtime.stats().0;
+        self.prev_done_count = self.runtime.done_count();
+        let snap = self.snapshot();
+        self.sched.observe(now, &snap);
+        let requested = self.sched.rebalance(now, &snap);
+        self.apply_migrations(requested, probe);
+    }
+
+    /// Deterministic machine snapshot for the scheduler. Built only at
+    /// epoch boundaries, keeping its cost off the per-cycle path.
+    fn snapshot(&self) -> SchedSnapshot {
+        let topo = self.topology();
+        let mut cluster_running = Vec::with_capacity(topo.n_clusters());
+        for chip in &self.chips {
+            for cl in &chip.clusters {
+                cluster_running.push(cl.running_threads());
+            }
+        }
+        let threads = (0..self.placements.len())
+            .map(|tid| {
+                let group = self.runtime.group_of(tid);
+                let done = self.runtime.is_done(tid);
+                if let Some(tr) = self.in_transit.iter().find(|t| t.tid == tid) {
+                    ThreadObs {
+                        tid,
+                        placement: None,
+                        state: ThreadState::Migrating,
+                        committed: tr.detached.committed,
+                        inflight: 0,
+                        inflight_loads: 0,
+                        group,
+                        done,
+                    }
+                } else {
+                    let p = self.placements[tid];
+                    let cl = &self.chips[p.chip].clusters[p.cluster];
+                    ThreadObs {
+                        tid,
+                        placement: Some(p),
+                        state: cl.thread_state(p.ctx),
+                        committed: cl.thread_committed(p.ctx),
+                        inflight: cl.inflight(p.ctx),
+                        inflight_loads: cl.inflight_loads(p.ctx),
+                        group,
+                        done,
+                    }
+                }
+            })
+            .collect();
+        SchedSnapshot {
+            cycle: self.cycle,
+            threads,
+            cluster_running,
+            topo,
+        }
+    }
+
+    /// Validate and start a batch of requested migrations. Policies are
+    /// advisory: requests that are out of range, duplicated, aimed at a
+    /// promised slot, or whose thread cannot migrate are dropped silently.
+    /// A request into an occupied context survives only if the occupant
+    /// itself migrates away in the same batch (a swap).
+    fn apply_migrations<P: Probe>(&mut self, requested: Vec<Migration>, probe: &mut P) {
+        if requested.is_empty() {
+            return;
+        }
+        let now = self.cycle;
+        let n = self.placements.len();
+        // Slots already promised to an outstanding migration.
+        let mut promised: Vec<usize> = self.in_transit.iter().map(|t| self.slot(t.to)).collect();
+        promised.extend(
+            self.migrate_dest
+                .iter()
+                .filter_map(|d| d.map(|(p, _)| self.slot(p))),
+        );
+        let mut accepted: Vec<Migration> = Vec::new();
+        let mut in_batch = vec![false; n];
+        for m in requested {
+            if m.tid >= n
+                || in_batch[m.tid]
+                || m.to.chip >= self.chips.len()
+                || m.to.cluster >= self.cfg.clusters
+                || m.to.ctx >= self.cfg.cluster.hw_threads
+            {
+                continue;
+            }
+            if self.migrate_dest[m.tid].is_some() || self.in_transit.iter().any(|t| t.tid == m.tid)
+            {
+                continue;
+            }
+            let from = self.placements[m.tid];
+            if from == m.to {
+                continue;
+            }
+            let state = self.chips[from.chip].clusters[from.cluster].thread_state(from.ctx);
+            if !matches!(
+                state,
+                ThreadState::Running
+                    | ThreadState::WrongPath
+                    | ThreadState::WaitingSync
+                    | ThreadState::Done
+            ) {
+                continue;
+            }
+            let dest = self.slot(m.to);
+            if promised.contains(&dest) || accepted.iter().any(|a| self.slot(a.to) == dest) {
+                continue;
+            }
+            accepted.push(m);
+            in_batch[m.tid] = true;
+        }
+        // A move into an occupied context needs the occupant to leave in
+        // this batch; dropping one request can strand another, so filter
+        // to a fixpoint. This guarantees every accepted destination
+        // eventually frees, which keeps arrivals deadlock-free.
+        loop {
+            let movers: Vec<ThreadId> = accepted.iter().map(|a| a.tid).collect();
+            let before = accepted.len();
+            accepted.retain(|a| match self.rev_map[self.slot(a.to)] {
+                None => true,
+                Some(occupant) => movers.contains(&occupant),
+            });
+            if accepted.len() == before {
+                break;
+            }
+        }
+        for m in accepted {
+            let from = self.placements[m.tid];
+            let cl = &mut self.chips[from.chip].clusters[from.cluster];
+            let state = cl.thread_state(from.ctx);
+            if cl.hold_for_migration(from.ctx) {
+                // Already drained (parked states, or an empty window):
+                // detach immediately, preserving the parked state.
+                let detached = cl.detach_thread(from.ctx);
+                let resume_as = match state {
+                    ThreadState::WaitingSync => ThreadState::WaitingSync,
+                    ThreadState::Done => ThreadState::Done,
+                    _ => ThreadState::Running,
+                };
+                self.depart(m.tid, m.to, now, resume_as, detached, now, probe);
+            } else {
+                self.migrate_dest[m.tid] = Some((m.to, now));
+            }
+        }
+    }
+
+    /// Upper bound on a fast-forward span imposed by the scheduler: the
+    /// next quantum epoch and the next transit arrival are simulated-time
+    /// events the span must not skip. Arrivals already due (waiting on an
+    /// occupied destination) don't cap the span — the occupant's drain is
+    /// a cluster event the span horizon already accounts for.
+    fn next_sched_cap(&self) -> u64 {
+        let now = self.cycle;
+        let mut cap = u64::MAX;
+        if let Some(q) = self.sched.quantum() {
+            cap = cap.min(self.last_epoch + q);
+        }
+        for t in &self.in_transit {
+            if t.ready_at > now {
+                cap = cap.min(t.ready_at);
+            }
+        }
+        cap
+    }
+
     /// True while any thread still has work.
     pub fn busy(&self) -> bool {
         !self.runtime.all_done()
+            || !self.in_transit.is_empty()
             || self
                 .chips
                 .iter()
@@ -358,16 +832,40 @@ impl Machine {
     /// this returns to flush the trailing partial interval.
     pub fn run_probed<P: Probe>(&mut self, max_cycles: u64, probe: &mut P) -> RunResult {
         assert!(!self.placements.is_empty(), "attach_threads first");
+        if P::WANTS_SCHED_EVENTS && !self.attach_emitted {
+            // Initial placements, for probes tracking thread→context
+            // ownership. Gated on the probe (not on the policy), so
+            // ownership checkers work under the static policy too.
+            self.attach_emitted = true;
+            for tid in 0..self.placements.len() {
+                let p = self.placements[tid];
+                probe.migration(MigrationEvent {
+                    cycle: self.cycle,
+                    thread: tid as u32,
+                    cluster: (p.chip * self.cfg.clusters + p.cluster) as u32,
+                    ctx: p.ctx as u32,
+                    kind: MigrationEventKind::Attach,
+                    wait: 0,
+                });
+            }
+        }
         while self.busy() {
             assert!(
                 self.cycle < max_cycles,
                 "simulation exceeded {max_cycles} cycles (deadlock?)"
             );
+            if self.sched_dynamic {
+                self.process_arrivals(probe);
+                self.maybe_epoch(probe);
+            }
             if self.fastforward {
                 // Capping the jump at `max_cycles` preserves the deadlock
                 // panic above: a machine stalled forever walks up to the
                 // limit and trips the assert exactly as stepping would.
-                let target = self.next_event_cycle().min(max_cycles);
+                let mut target = self.next_event_cycle().min(max_cycles);
+                if self.sched_dynamic {
+                    target = target.min(self.next_sched_cap());
+                }
                 if target > self.cycle {
                     self.fast_forward_probed(target, probe);
                     continue;
@@ -412,6 +910,8 @@ impl Machine {
             branch_mispredicts: mispredicts,
             barrier_episodes: barriers,
             lock_acquisitions: lock_acqs,
+            migrations: self.migrations,
+            migration_wait_cycles: self.migration_wait,
         }
     }
 
@@ -420,8 +920,11 @@ impl Machine {
         self.cycle
     }
 
-    /// State of software thread `tid`.
+    /// State of software thread `tid` (`Migrating` while between contexts).
     pub fn thread_state(&self, tid: ThreadId) -> ThreadState {
+        if self.in_transit.iter().any(|t| t.tid == tid) {
+            return ThreadState::Migrating;
+        }
         let p = self.placements[tid];
         self.chips[p.chip].clusters[p.cluster].thread_state(p.ctx)
     }
@@ -469,9 +972,10 @@ mod tests {
 
     #[test]
     fn placement_round_robins_across_clusters() {
-        let m = Machine::new(ArchKind::Smt2.chip(), 1, MemConfig::table3(), 1);
+        let cfg = ArchKind::Smt2.chip();
+        let place = |tid| round_robin_placement(tid, cfg.clusters, cfg.threads_per_chip());
         assert_eq!(
-            m.placement_of(0),
+            place(0),
             Placement {
                 chip: 0,
                 cluster: 0,
@@ -479,7 +983,7 @@ mod tests {
             }
         );
         assert_eq!(
-            m.placement_of(1),
+            place(1),
             Placement {
                 chip: 0,
                 cluster: 1,
@@ -487,7 +991,7 @@ mod tests {
             }
         );
         assert_eq!(
-            m.placement_of(2),
+            place(2),
             Placement {
                 chip: 0,
                 cluster: 0,
@@ -495,7 +999,7 @@ mod tests {
             }
         );
         assert_eq!(
-            m.placement_of(7),
+            place(7),
             Placement {
                 chip: 0,
                 cluster: 1,
@@ -508,8 +1012,10 @@ mod tests {
     fn placement_fills_chips_in_order() {
         let m = Machine::new(ArchKind::Fa2.chip(), 4, MemConfig::table3(), 1);
         assert_eq!(m.hw_thread_capacity(), 8);
+        let cfg = ArchKind::Fa2.chip();
+        let place = |tid| round_robin_placement(tid, cfg.clusters, cfg.threads_per_chip());
         assert_eq!(
-            m.placement_of(2),
+            place(2),
             Placement {
                 chip: 1,
                 cluster: 0,
@@ -517,13 +1023,29 @@ mod tests {
             }
         );
         assert_eq!(
-            m.placement_of(5),
+            place(5),
             Placement {
                 chip: 2,
                 cluster: 1,
                 ctx: 0
             }
         );
+    }
+
+    #[test]
+    fn stored_placements_match_round_robin_after_attach() {
+        let mut m = Machine::new(ArchKind::Smt4.chip(), 1, MemConfig::table3(), 1);
+        m.attach_threads((0..6).map(|i| simple_thread(2, false, i << 14)).collect());
+        let cfg = ArchKind::Smt4.chip();
+        for tid in 0..6 {
+            let p = round_robin_placement(tid, cfg.clusters, cfg.threads_per_chip());
+            assert_eq!(m.placement_of(tid), p);
+            assert_eq!(m.tid_at(p.chip, p.cluster, p.ctx), Some(tid));
+        }
+        // Unoccupied contexts map to no thread (SMT4 = 4 clusters × 2
+        // contexts; 6 threads leave (0,2,1) and (0,3,1) empty).
+        assert_eq!(m.tid_at(0, 2, 1), None);
+        assert_eq!(m.tid_at(0, 3, 1), None);
     }
 
     #[test]
@@ -590,6 +1112,147 @@ mod tests {
         m.attach_threads((0..8).map(|_| simple_thread(100, false, 0)).collect());
         let r = m.run(10_000_000);
         assert!(r.mem.remote_mem + r.mem.remote_l2 > 0, "{:?}", r.mem);
+    }
+
+    /// Straight-line compute thread: no barriers, just work then exit.
+    fn plain_thread(n_ops: u64, addr_base: u64) -> Box<dyn InstStream + Send> {
+        let mut v = Vec::new();
+        for i in 0..n_ops {
+            v.push(DynInst::load(
+                8 + i * 8,
+                ArchReg::Fp(1),
+                addr_base + (i * 8) % 4096,
+                [None, None],
+            ));
+            v.push(DynInst::alu(
+                12 + i * 8,
+                OpClass::FpAdd,
+                Some(ArchReg::Fp(2)),
+                [Some(ArchReg::Fp(1)), None],
+            ));
+        }
+        v.push(DynInst::sync(8, SyncOp::Exit));
+        Box::new(VecStream::new(v))
+    }
+
+    #[test]
+    fn barrier_rebalance_migrates_and_conserves_work() {
+        // Odd threads (all placed round-robin on cluster 1 of SMT2) are
+        // short; their exits leave cluster 1 idle while cluster 0 still
+        // holds four live threads — exactly the imbalance BarrierRebalance
+        // exists to fix.
+        let run = |dynamic: bool| {
+            let mut m = Machine::new(ArchKind::Smt2.chip(), 1, MemConfig::table3(), 7);
+            if dynamic {
+                m.set_scheduler(Box::new(crate::sched::BarrierRebalance::default()))
+                    .unwrap();
+            }
+            m.attach_threads(
+                (0..8)
+                    .map(|i| plain_thread(if i % 2 == 0 { 400 } else { 5 }, i << 16))
+                    .collect(),
+            );
+            m.run(10_000_000)
+        };
+        let stat = run(false);
+        let dynamic = run(true);
+        assert_eq!(stat.migrations, 0);
+        assert!(
+            dynamic.migrations > 0,
+            "uneven exits must trigger rebalancing"
+        );
+        assert!(dynamic.migration_wait_cycles >= dynamic.migrations * MIGRATION_COST);
+        // Migration moves work, never creates or destroys it.
+        assert_eq!(
+            stat.slots.committed, dynamic.slots.committed,
+            "committed instructions must be conserved across migrations"
+        );
+    }
+
+    #[test]
+    fn hazard_pairing_runs_deterministically() {
+        let run = || {
+            let mut m = Machine::new(ArchKind::Smt2.chip(), 1, MemConfig::table3(), 9);
+            m.set_scheduler(Box::new(crate::sched::HazardPairing::with_quantum(512)))
+                .unwrap();
+            m.attach_threads(
+                (0..8)
+                    .map(|i| simple_thread(120 + i * 7, false, i << 14))
+                    .collect(),
+            );
+            m.run(10_000_000)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.slots, b.slots);
+        assert_eq!(a.mem, b.mem);
+        assert_eq!(a.migrations, b.migrations);
+    }
+
+    /// A serial chain of address-dependent loads striding past the page
+    /// size (the machine_step bench workload): latency-bound, every load
+    /// misses deep.
+    fn serial_chain(tid: u64, n: u64) -> Box<dyn InstStream + Send> {
+        let base = tid << 24;
+        let mut v = Vec::with_capacity(n as usize + 1);
+        for i in 0..n {
+            v.push(DynInst::load(
+                base + i * 4,
+                ArchReg::Fp(1),
+                base + i * (4096 + 64),
+                [Some(ArchReg::Fp(1)), None],
+            ));
+        }
+        v.push(DynInst::sync(base + n * 4, SyncOp::Exit));
+        Box::new(VecStream::new(v))
+    }
+
+    #[test]
+    fn dynamic_policy_is_fastforward_equivalent_and_conserves_work() {
+        // The memory-bound bench workload under hazard pairing: the
+        // fast-forward must not change either the cycle count or the work,
+        // and migrations must not create or destroy instructions.
+        let run = |policy: Option<u64>, ff: bool| {
+            let mut m = Machine::new(ArchKind::Smt2.chip(), 1, MemConfig::table3(), 0xC5_317);
+            if let Some(q) = policy {
+                m.set_scheduler(Box::new(crate::sched::HazardPairing::with_quantum(q)))
+                    .unwrap();
+            }
+            m.set_fastforward(ff);
+            m.attach_threads((0..8).map(|t| serial_chain(t, 120)).collect());
+            m.run(10_000_000)
+        };
+        let stat = run(None, true);
+        let dyn_ff = run(Some(2048), true);
+        let dyn_step = run(Some(2048), false);
+        assert_eq!(dyn_ff.cycles, dyn_step.cycles, "fastforward must be inert");
+        assert_eq!(dyn_ff.slots.committed, dyn_step.slots.committed);
+        assert_eq!(dyn_ff.migrations, dyn_step.migrations);
+        assert_eq!(
+            stat.slots.committed, dyn_ff.slots.committed,
+            "migrations must conserve committed work"
+        );
+    }
+
+    #[test]
+    fn invalid_scheduler_configs_are_rejected() {
+        let mut m = Machine::new(ArchKind::Fa4.chip(), 1, MemConfig::table3(), 1);
+        assert_eq!(
+            m.set_scheduler(Box::new(crate::sched::BarrierRebalance::default())),
+            Err(crate::sched::SchedConfigError::DynamicOnFixedAssignment)
+        );
+        let mut m = Machine::new(ArchKind::Smt2.chip(), 1, MemConfig::table3(), 1);
+        assert_eq!(
+            m.set_scheduler(Box::new(crate::sched::HazardPairing::with_quantum(0))),
+            Err(crate::sched::SchedConfigError::ZeroQuantum)
+        );
+        // A valid dynamic policy on an SMT machine installs fine.
+        assert_eq!(
+            m.set_scheduler(Box::new(crate::sched::BarrierRebalance::default())),
+            Ok(())
+        );
+        assert_eq!(m.scheduler_name(), "barrier");
     }
 
     #[test]

@@ -30,6 +30,23 @@ pub struct RunResult {
     pub barrier_episodes: u64,
     /// Lock acquisitions granted.
     pub lock_acquisitions: u64,
+    /// Thread migrations completed by a dynamic scheduling policy. Omitted
+    /// from JSON when zero so static-policy output stays byte-identical to
+    /// the pre-scheduler golden documents.
+    #[serde(skip_serializing_if = "is_zero")]
+    pub migrations: u64,
+    /// Total cycles threads spent between being marked for migration and
+    /// resuming at their destination (drain + transit + destination wait).
+    #[serde(skip_serializing_if = "is_zero")]
+    pub migration_wait_cycles: u64,
+}
+
+/// Serde gate for the migration counters: skip when zero. (`pub` because
+/// rustc's liveness analysis ignores references from derived impls.)
+#[doc(hidden)]
+#[allow(clippy::trivially_copy_pass_by_ref)]
+pub fn is_zero(v: &u64) -> bool {
+    *v == 0
 }
 
 impl RunResult {
@@ -105,7 +122,26 @@ mod tests {
             branch_mispredicts: 7,
             barrier_episodes: 0,
             lock_acquisitions: 0,
+            migrations: 0,
+            migration_wait_cycles: 0,
         }
+    }
+
+    #[test]
+    fn migration_counters_are_omitted_when_zero() {
+        // Keeps static-policy JSON byte-identical to pre-scheduler goldens.
+        assert!(is_zero(&0) && !is_zero(&1));
+        let mut r = dummy(10, 1);
+        let j = serde_json::to_string(&r).unwrap();
+        assert!(
+            !j.contains("migrations"),
+            "zero counters must be skipped: {j}"
+        );
+        r.migrations = 3;
+        r.migration_wait_cycles = 412;
+        let j = serde_json::to_string(&r).unwrap();
+        assert!(j.contains(r#""migrations":3"#));
+        assert!(j.contains(r#""migration_wait_cycles":412"#));
     }
 
     #[test]

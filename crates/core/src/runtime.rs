@@ -167,6 +167,21 @@ impl Runtime {
     pub fn stats(&self) -> (u64, u64) {
         (self.barrier_episodes, self.lock_acquisitions)
     }
+
+    /// Program group of thread `tid` (0 for a single parallel application).
+    pub fn group_of(&self, tid: ThreadId) -> usize {
+        self.group_of[tid]
+    }
+
+    /// True once thread `tid` has exited.
+    pub fn is_done(&self, tid: ThreadId) -> bool {
+        self.done[tid]
+    }
+
+    /// Number of threads that have exited so far (all groups).
+    pub fn done_count(&self) -> usize {
+        self.done.iter().filter(|&&d| d).count()
+    }
 }
 
 #[cfg(test)]

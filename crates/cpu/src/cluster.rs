@@ -42,6 +42,28 @@ pub enum ClusterEvent {
         /// Hardware context index within this cluster.
         thread: usize,
     },
+    /// A context held for migration has fully drained its in-flight work
+    /// and can be detached. Emitted once: the machine detaches the context
+    /// (making it `Idle`) while processing this event.
+    MigrationDrained {
+        /// Hardware context index within this cluster.
+        thread: usize,
+    },
+}
+
+/// The architectural state of a software thread detached from a cluster
+/// context mid-run, carried to its destination by the machine's thread
+/// scheduler. Microarchitectural state (window entries, rename mappings,
+/// store buffer) never travels: the context is fully drained first.
+pub struct DetachedThread {
+    /// The thread's remaining instruction stream.
+    pub stream: Option<Box<dyn InstStream + Send>>,
+    /// An instruction fetched but not yet installed (rename-stalled at
+    /// detach time); replayed first at the destination.
+    pub pending: Option<csmt_isa::DynInst>,
+    /// Instructions committed so far, restored at the destination so
+    /// per-thread commit counts stay cumulative across migrations.
+    pub committed: u64,
 }
 
 /// One cluster pipeline. See the crate docs for the per-cycle phases.
@@ -105,6 +127,99 @@ impl Cluster {
         self.regs.threads[ctx].state
     }
 
+    /// Mark context `ctx` for migration. The thread stops fetching;
+    /// correct-path in-flight work drains through commit (wrong-path work
+    /// is squashed by normal branch resolution), after which the cluster
+    /// reports [`ClusterEvent::MigrationDrained`]. Returns `true` if the
+    /// context is already drained (caller may detach immediately — no
+    /// event will be emitted).
+    ///
+    /// Valid from `Running`, `WrongPath`, `WaitingSync` and `Done` (a
+    /// parked or finished thread detaches trivially). `Draining` contexts
+    /// cannot be held: they owe the runtime a sync report first.
+    pub fn hold_for_migration(&mut self, ctx: usize) -> bool {
+        let t = &mut self.regs.threads[ctx];
+        assert!(
+            matches!(
+                t.state,
+                ThreadState::Running
+                    | ThreadState::WrongPath
+                    | ThreadState::WaitingSync
+                    | ThreadState::Done
+            ),
+            "cannot migrate a context in state {:?}",
+            t.state
+        );
+        t.state = ThreadState::Migrating;
+        t.fifo.is_empty()
+    }
+
+    /// Detach the software thread held at context `ctx` (state
+    /// `Migrating`, fully drained), returning its architectural state and
+    /// resetting the context to `Idle`. The wrong-path generator stays
+    /// with the hardware context, like the branch predictor.
+    pub fn detach_thread(&mut self, ctx: usize) -> DetachedThread {
+        let t = &mut self.regs.threads[ctx];
+        assert_eq!(
+            t.state,
+            ThreadState::Migrating,
+            "detach requires a context held for migration"
+        );
+        assert!(t.fifo.is_empty(), "detach before in-flight drain");
+        assert!(
+            t.pending_sync.is_none(),
+            "detach with an unreported sync operation"
+        );
+        debug_assert!(
+            t.map.iter().all(Option::is_none),
+            "rename map must be clear after a full drain"
+        );
+        t.state = ThreadState::Idle;
+        t.redirect_until = 0;
+        t.wp_pc = 0;
+        DetachedThread {
+            stream: t.stream.take(),
+            pending: t.pending.take(),
+            committed: std::mem::take(&mut t.committed),
+        }
+    }
+
+    /// Attach a migrated thread to the idle context `ctx`, restoring its
+    /// architectural state. `resume_as` is the state the thread held when
+    /// it was detached, as tracked by the machine: `Running` (or
+    /// `WrongPath`, which resumes as `Running` — its wrong path was
+    /// squashed during the drain), `WaitingSync` (still parked; the
+    /// runtime resumes it later) or `Done`.
+    pub fn attach_migrated(&mut self, ctx: usize, d: DetachedThread, resume_as: ThreadState) {
+        let t = &mut self.regs.threads[ctx];
+        assert_eq!(t.state, ThreadState::Idle, "destination context busy");
+        assert!(
+            matches!(
+                resume_as,
+                ThreadState::Running | ThreadState::WaitingSync | ThreadState::Done
+            ),
+            "invalid resume state {resume_as:?}"
+        );
+        t.stream = d.stream;
+        t.pending = d.pending;
+        t.committed = d.committed;
+        t.state = resume_as;
+    }
+
+    /// In-flight *load* count of context `ctx` (loads fetched but not yet
+    /// completed) — the memory-boundedness signal sampled by scheduler
+    /// snapshots at epoch boundaries.
+    pub fn inflight_loads(&self, ctx: usize) -> usize {
+        self.regs.threads[ctx]
+            .fifo
+            .iter()
+            .filter(|&&s| {
+                let e = &self.win.entries[s as usize];
+                e.op == csmt_isa::OpClass::Load && e.state != EState::Done
+            })
+            .count()
+    }
+
     /// Number of contexts currently making progress (not idle, parked or
     /// done) — used for the paper's Figure 6 thread-parallelism metric.
     pub fn running_threads(&self) -> usize {
@@ -114,7 +229,10 @@ impl Cluster {
             .filter(|t| {
                 matches!(
                     t.state,
-                    ThreadState::Running | ThreadState::WrongPath | ThreadState::Draining
+                    ThreadState::Running
+                        | ThreadState::WrongPath
+                        | ThreadState::Draining
+                        | ThreadState::Migrating
                 )
             })
             .count()
@@ -308,8 +426,8 @@ impl Cluster {
     /// - no thread's FIFO head is `Done` (commit retires nothing — the head
     ///   check spans *all* threads because commit retires a `Done` head
     ///   regardless of thread state);
-    /// - no `Draining` thread has an empty FIFO (the drain would be
-    ///   reported to the runtime this cycle);
+    /// - no `Draining` or `Migrating` thread has an empty FIFO (the drain
+    ///   would be reported this cycle);
     /// - fetch cannot install anything: no fetchable thread, or the window
     ///   is full, or **every** fetchable thread is `Running` with a pending
     ///   instruction whose destination register class has an empty rename
@@ -333,7 +451,7 @@ impl Cluster {
                 }
             }
             match t.state {
-                ThreadState::Draining if t.fifo.is_empty() => return now,
+                ThreadState::Draining | ThreadState::Migrating if t.fifo.is_empty() => return now,
                 ThreadState::Running | ThreadState::WrongPath => {
                     any_fetchable = true;
                     if t.fifo.is_empty() && t.redirect_until > now {

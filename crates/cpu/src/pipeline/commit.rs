@@ -72,7 +72,7 @@ pub(crate) fn run<P: Probe>(
             }
         }
     }
-    // Drained sync / exit detection.
+    // Drained sync / exit / migration detection.
     for tid in 0..n_threads {
         let t = &mut regs.threads[tid];
         if t.state == ThreadState::Draining && t.fifo.is_empty() {
@@ -87,6 +87,11 @@ pub(crate) fn run<P: Probe>(
                 t.state = ThreadState::WaitingSync;
                 events.push(ClusterEvent::SyncReached { thread: tid, op });
             }
+        } else if t.state == ThreadState::Migrating && t.fifo.is_empty() {
+            // No state change here: the machine detaches the context
+            // (making it Idle) while processing this event, so it fires
+            // exactly once.
+            events.push(ClusterEvent::MigrationDrained { thread: tid });
         }
     }
 }

@@ -26,6 +26,10 @@ pub enum ThreadState {
     Draining,
     /// Drained at a sync point; the runtime decides when to resume.
     WaitingSync,
+    /// The thread scheduler marked this context for migration; correct-path
+    /// work drains through commit (wrong-path work is squashed by normal
+    /// branch resolution) before the thread detaches.
+    Migrating,
     /// Program finished.
     Done,
 }
@@ -175,9 +179,12 @@ pub(crate) fn hazard_weights(
             ThreadState::Idle
             | ThreadState::Done
             | ThreadState::Draining
-            | ThreadState::WaitingSync => {
+            | ThreadState::WaitingSync
+            | ThreadState::Migrating => {
                 // Parked threads waste their share of the cluster:
-                // spinning at barriers/locks (or gone).
+                // spinning at barriers/locks, gone, or draining toward a
+                // migration (the migration cost shows up as sync slots,
+                // keeping §4.1 conservation intact).
                 w[Hazard::Sync.index()] += 1.0;
             }
             ThreadState::Running | ThreadState::WrongPath => {

@@ -13,6 +13,8 @@
 //!   instructions in flight.
 //! * **pid 2 "counters"** — `C` counter events: `ipc` and
 //!   `inflight_misses` machine-wide, `window_occ/<cluster>` per cluster.
+//! * **pid 3 "sched"** — `i` instant events marking thread-scheduler
+//!   actions (attach / depart / arrive of migrating threads).
 //!
 //! Timestamps are simulated **cycles** reported in the `ts` microsecond
 //! field (1 cycle = 1 µs), which keeps the numbers readable in the UI.
@@ -31,6 +33,8 @@ use serde::Value;
 const PID_PIPELINE: u64 = 1;
 /// Synthetic process id for counter tracks.
 const PID_COUNTERS: u64 = 2;
+/// Synthetic process id for the thread-scheduler instant track.
+const PID_SCHED: u64 = 3;
 
 /// Builds a Chrome-trace-event JSON document from pipeline metrics.
 #[derive(Debug, Default)]
@@ -44,6 +48,7 @@ impl PerfettoTrace {
         let mut t = PerfettoTrace { events: Vec::new() };
         t.process_name(PID_PIPELINE, "pipeline");
         t.process_name(PID_COUNTERS, "counters");
+        t.process_name(PID_SCHED, "sched");
         t
     }
 
@@ -113,6 +118,20 @@ impl PerfettoTrace {
         ]));
     }
 
+    /// One thread-scheduler instant on the sched track: `name` happened
+    /// at `cycle` (process scope, so it renders as a flag in the UI).
+    pub fn sched_instant(&mut self, name: &str, cycle: u64) {
+        self.events.push(Value::Object(vec![
+            ("ph".into(), Value::Str("i".into())),
+            ("name".into(), Value::Str(name.to_string())),
+            ("cat".into(), Value::Str("sched".into())),
+            ("pid".into(), Value::U64(PID_SCHED)),
+            ("tid".into(), Value::U64(0)),
+            ("ts".into(), Value::U64(cycle)),
+            ("s".into(), Value::Str("p".into())),
+        ]));
+    }
+
     /// Number of events recorded so far (metadata included).
     pub fn len(&self) -> usize {
         self.events.len()
@@ -120,7 +139,7 @@ impl PerfettoTrace {
 
     /// True if only the initial metadata is present.
     pub fn is_empty(&self) -> bool {
-        self.events.len() <= 2
+        self.events.len() <= 3
     }
 
     /// The whole document as one JSON value:
@@ -159,8 +178,9 @@ impl PerfettoTrace {
 
 /// Validate that `doc` is a loadable trace-event document: a
 /// `traceEvents` array whose members each carry a known phase (`X`, `C`,
-/// or `M`), a `pid`, a `tid`, a `name`, and — for non-metadata events —
-/// a non-negative `ts` (plus `dur` for `X`, `args.value` for `C`).
+/// `i`, or `M`), a `pid`, a `tid`, a `name`, and — for non-metadata
+/// events — a non-negative `ts` (plus `dur` for `X`, `args.value` for
+/// `C`).
 /// Returns the event count, or a description of the first malformed
 /// event. This is the schema check the unit tests and
 /// `tests/metrics_reconcile.rs` run over real exported traces.
@@ -204,6 +224,11 @@ pub fn validate_trace(doc: &Value) -> Result<usize, String> {
                     .and_then(|a| a.get("value"))
                     .and_then(Value::as_f64)
                     .ok_or_else(|| format!("event {i}: C without args.value"))?;
+            }
+            "i" => {
+                e.get("ts")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("event {i}: i without ts"))?;
             }
             other => return Err(format!("event {i}: unknown phase {other:?}")),
         }
@@ -276,6 +301,21 @@ mod tests {
         t.occupancy_slice(2, 0, 7, 0);
         let parsed: Value = serde_json::from_str(&t.to_json()).unwrap();
         validate_trace(&parsed).expect("widened slice passes validation");
+    }
+
+    #[test]
+    fn sched_instants_validate_and_land_on_the_sched_pid() {
+        let mut t = PerfettoTrace::new();
+        t.sched_instant("arrive t3 c1/x2", 4200);
+        let parsed: Value = serde_json::from_str(&t.to_json()).unwrap();
+        validate_trace(&parsed).expect("instant passes validation");
+        let events = parsed.get("traceEvents").and_then(Value::as_array).unwrap();
+        let inst = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Value::as_str) == Some("i"))
+            .expect("instant present");
+        assert_eq!(inst.get("pid").and_then(Value::as_u64), Some(PID_SCHED));
+        assert_eq!(inst.get("ts").and_then(Value::as_u64), Some(4200));
     }
 
     #[test]

@@ -8,7 +8,8 @@ use std::collections::BinaryHeap;
 
 use csmt_isa::fxhash::FxHashMap;
 use csmt_trace::{
-    CacheEvent, CycleStats, FetchEvent, Probe, ServiceLevel, StageEvent, WindowOccEvent,
+    CacheEvent, CycleStats, FetchEvent, MigrationEvent, MigrationEventKind, Probe, ServiceLevel,
+    StageEvent, WindowOccEvent,
 };
 
 use crate::hist::LogHistogram;
@@ -68,6 +69,8 @@ pub struct MetricsProbe {
     final_snap: CycleStats,
     final_cycle: u64,
     ipc_timeline: Vec<(u64, f64)>,
+    migrations: u64,
+    migration_wait: u64,
 }
 
 /// Grow a per-cluster vector of histograms up to `idx`.
@@ -104,6 +107,8 @@ impl MetricsProbe {
             final_snap: CycleStats::default(),
             final_cycle: 0,
             ipc_timeline: Vec::new(),
+            migrations: 0,
+            migration_wait: 0,
         }
     }
 
@@ -198,6 +203,8 @@ impl MetricsProbe {
             ipc_timeline: self.ipc_timeline,
             trace: self.trace,
             slices_dropped: self.slices_dropped,
+            migrations: self.migrations,
+            migration_wait_cycles: self.migration_wait,
         }
     }
 
@@ -228,6 +235,7 @@ impl Probe for MetricsProbe {
     const WANTS_CACHE_EVENTS: bool = true;
     const WANTS_CYCLE_STATS: bool = true;
     const WANTS_OCC_STATS: bool = true;
+    const WANTS_SCHED_EVENTS: bool = true;
 
     fn fetch(&mut self, e: FetchEvent) {
         self.inflight.insert(
@@ -268,6 +276,27 @@ impl Probe for MetricsProbe {
             // remaining service latency.
             self.mshr_residency.record(latency);
             self.miss_heap.push(Reverse(e.complete_at));
+        }
+    }
+
+    fn migration(&mut self, e: MigrationEvent) {
+        match e.kind {
+            MigrationEventKind::Attach => self.trace.sched_instant(
+                &format!("attach t{} c{}/x{}", e.thread, e.cluster, e.ctx),
+                e.cycle,
+            ),
+            MigrationEventKind::Depart => self.trace.sched_instant(
+                &format!("depart t{} c{}/x{}", e.thread, e.cluster, e.ctx),
+                e.cycle,
+            ),
+            MigrationEventKind::Arrive => {
+                self.migrations += 1;
+                self.migration_wait += e.wait;
+                self.trace.sched_instant(
+                    &format!("arrive t{} c{}/x{} +{}", e.thread, e.cluster, e.ctx, e.wait),
+                    e.cycle,
+                );
+            }
         }
     }
 

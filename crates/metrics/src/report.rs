@@ -44,6 +44,12 @@ pub struct MetricsReport {
     pub trace: PerfettoTrace,
     /// Occupancy slices beyond the cap that were counted but not kept.
     pub slices_dropped: u64,
+    /// Thread migrations completed by the scheduling policy (0 under the
+    /// static policy).
+    pub migrations: u64,
+    /// Total cycles migrating threads spent between leaving their old
+    /// context and resuming at the new one.
+    pub migration_wait_cycles: u64,
 }
 
 /// One `name  summary` line, indented two spaces per `depth`.
@@ -93,6 +99,14 @@ impl MetricsReport {
                 out,
                 "ipc timeline: {} samples, min {lo:.2}, max {hi:.2}",
                 self.ipc_timeline.len()
+            );
+        }
+        if self.migrations > 0 {
+            let _ = writeln!(
+                out,
+                "thread migrations: {} (avg wait {:.0} cycles)",
+                self.migrations,
+                self.migration_wait_cycles as f64 / self.migrations as f64
             );
         }
         if self.slices_dropped > 0 {
@@ -167,6 +181,11 @@ impl MetricsReport {
                 "perfetto_slices_dropped".into(),
                 Value::U64(self.slices_dropped),
             ),
+            ("migrations".into(), Value::U64(self.migrations)),
+            (
+                "migration_wait_cycles".into(),
+                Value::U64(self.migration_wait_cycles),
+            ),
         ])
     }
 
@@ -220,6 +239,8 @@ mod tests {
             ipc_timeline: vec![(99, 2.0), (199, 1.5)],
             trace: PerfettoTrace::new(),
             slices_dropped: 0,
+            migrations: 0,
+            migration_wait_cycles: 0,
         }
     }
 
@@ -237,6 +258,25 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn migrations_line_appears_only_when_nonzero() {
+        let mut r = sample();
+        assert!(!r.render_text().contains("thread migrations"));
+        r.migrations = 4;
+        r.migration_wait_cycles = 500;
+        let text = r.render_text();
+        assert!(
+            text.contains("thread migrations: 4 (avg wait 125 cycles)"),
+            "{text}"
+        );
+        let v = r.to_value();
+        assert_eq!(v.get("migrations").and_then(Value::as_u64), Some(4));
+        assert_eq!(
+            v.get("migration_wait_cycles").and_then(Value::as_u64),
+            Some(500)
+        );
     }
 
     #[test]

@@ -29,8 +29,9 @@ mod sampler;
 
 pub use pipeview::PipeviewProbe;
 pub use probe::{
-    CacheEvent, CycleStats, FetchEvent, HostPhase, NullProbe, Probe, RenamePoolEvent, ServiceLevel,
-    StageEvent, SyncEvent, SyncEventKind, WindowOccEvent, HAZARD_LABELS,
+    CacheEvent, CycleStats, FetchEvent, HostPhase, MigrationEvent, MigrationEventKind, NullProbe,
+    Probe, RenamePoolEvent, ServiceLevel, StageEvent, SyncEvent, SyncEventKind, WindowOccEvent,
+    HAZARD_LABELS,
 };
 pub use registry::StatsRegistry;
 pub use sampler::IntervalSampler;

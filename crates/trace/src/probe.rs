@@ -169,6 +169,43 @@ pub struct WindowOccEvent {
     pub ready: u32,
 }
 
+/// What a [`MigrationEvent`] reports about a thread's placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationEventKind {
+    /// Thread bound to its initial context (emitted once per thread at the
+    /// start of the run, so observers learn the placement map).
+    Attach,
+    /// Thread's context fully drained; the thread left the cluster and is
+    /// in transit.
+    Depart,
+    /// Thread arrived at its destination context after the modeled
+    /// migration latency.
+    Arrive,
+}
+
+/// A thread-scheduler placement event (attach or migration), emitted only
+/// when [`Probe::WANTS_SCHED_EVENTS`] is set. Default **off** so every
+/// pre-existing probe — and the golden determinism digests — keeps its
+/// event stream bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationEvent {
+    /// Cycle the event was processed by the machine loop.
+    pub cycle: u64,
+    /// Software thread id (machine-global).
+    pub thread: u32,
+    /// Machine-global cluster index the thread is bound to (for `Depart`,
+    /// the cluster being left; for `Attach`/`Arrive`, the new home).
+    pub cluster: u32,
+    /// Hardware context within that cluster.
+    pub ctx: u32,
+    /// What happened.
+    pub kind: MigrationEventKind,
+    /// Cycles spent between leaving the old context and this event
+    /// (non-zero only for `Arrive`: the modeled migration latency plus any
+    /// wait for the destination context to free up).
+    pub wait: u64,
+}
+
 /// A host-side simulator phase, for self-profiling where the *simulator*
 /// (not the simulated machine) spends its wall-clock time. Reported via
 /// [`Probe::host_phase`] when [`Probe::WANTS_HOST_PHASES`] is set.
@@ -313,6 +350,12 @@ pub trait Probe {
     /// timers cost two `Instant` reads per phase per cluster-cycle, which
     /// only the host self-profiler should pay.
     const WANTS_HOST_PHASES: bool = false;
+    /// Wants [`migration`](Probe::migration) thread-placement events
+    /// (initial attaches plus scheduler-driven migrations). Defaults to
+    /// `false` so existing probes and the golden digests keep their event
+    /// streams bit-for-bit; invariant checkers and the metrics collector
+    /// opt in.
+    const WANTS_SCHED_EVENTS: bool = false;
 
     /// Instruction fetched into a cluster's instruction window.
     #[inline]
@@ -354,6 +397,10 @@ pub trait Probe {
     /// machine and is inherently non-deterministic across runs.
     #[inline]
     fn host_phase(&mut self, _phase: HostPhase, _nanos: u64) {}
+    /// Thread attached to or migrated between hardware contexts. Emitted
+    /// only when [`WANTS_SCHED_EVENTS`](Probe::WANTS_SCHED_EVENTS) is set.
+    #[inline]
+    fn migration(&mut self, _e: MigrationEvent) {}
     /// End of a machine cycle. `stats` is `Some` iff
     /// [`WANTS_CYCLE_STATS`](Probe::WANTS_CYCLE_STATS).
     #[inline]
@@ -374,6 +421,7 @@ impl Probe for NullProbe {
     const WANTS_POOL_STATS: bool = false;
     const WANTS_OCC_STATS: bool = false;
     const WANTS_HOST_PHASES: bool = false;
+    const WANTS_SCHED_EVENTS: bool = false;
 }
 
 impl<P: Probe + ?Sized> Probe for &mut P {
@@ -383,6 +431,7 @@ impl<P: Probe + ?Sized> Probe for &mut P {
     const WANTS_POOL_STATS: bool = P::WANTS_POOL_STATS;
     const WANTS_OCC_STATS: bool = P::WANTS_OCC_STATS;
     const WANTS_HOST_PHASES: bool = P::WANTS_HOST_PHASES;
+    const WANTS_SCHED_EVENTS: bool = P::WANTS_SCHED_EVENTS;
 
     #[inline]
     fn fetch(&mut self, e: FetchEvent) {
@@ -429,6 +478,10 @@ impl<P: Probe + ?Sized> Probe for &mut P {
         (**self).host_phase(phase, nanos);
     }
     #[inline]
+    fn migration(&mut self, e: MigrationEvent) {
+        (**self).migration(e);
+    }
+    #[inline]
     fn cycle_end(&mut self, cycle: u64, stats: Option<&CycleStats>) {
         (**self).cycle_end(cycle, stats);
     }
@@ -444,6 +497,7 @@ impl<P: Probe> Probe for Option<P> {
     const WANTS_POOL_STATS: bool = P::WANTS_POOL_STATS;
     const WANTS_OCC_STATS: bool = P::WANTS_OCC_STATS;
     const WANTS_HOST_PHASES: bool = P::WANTS_HOST_PHASES;
+    const WANTS_SCHED_EVENTS: bool = P::WANTS_SCHED_EVENTS;
 
     #[inline]
     fn fetch(&mut self, e: FetchEvent) {
@@ -512,6 +566,12 @@ impl<P: Probe> Probe for Option<P> {
         }
     }
     #[inline]
+    fn migration(&mut self, e: MigrationEvent) {
+        if let Some(p) = self {
+            p.migration(e);
+        }
+    }
+    #[inline]
     fn cycle_end(&mut self, cycle: u64, stats: Option<&CycleStats>) {
         if let Some(p) = self {
             p.cycle_end(cycle, stats);
@@ -527,6 +587,7 @@ impl<A: Probe, B: Probe> Probe for (A, B) {
     const WANTS_POOL_STATS: bool = A::WANTS_POOL_STATS || B::WANTS_POOL_STATS;
     const WANTS_OCC_STATS: bool = A::WANTS_OCC_STATS || B::WANTS_OCC_STATS;
     const WANTS_HOST_PHASES: bool = A::WANTS_HOST_PHASES || B::WANTS_HOST_PHASES;
+    const WANTS_SCHED_EVENTS: bool = A::WANTS_SCHED_EVENTS || B::WANTS_SCHED_EVENTS;
 
     #[inline]
     fn fetch(&mut self, e: FetchEvent) {
@@ -582,6 +643,11 @@ impl<A: Probe, B: Probe> Probe for (A, B) {
     fn host_phase(&mut self, phase: HostPhase, nanos: u64) {
         self.0.host_phase(phase, nanos);
         self.1.host_phase(phase, nanos);
+    }
+    #[inline]
+    fn migration(&mut self, e: MigrationEvent) {
+        self.0.migration(e);
+        self.1.migration(e);
     }
     #[inline]
     fn cycle_end(&mut self, cycle: u64, stats: Option<&CycleStats>) {
@@ -669,6 +735,39 @@ mod tests {
             fp_held: 4,
         });
         assert_eq!(pair.1 .0, 1);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // the consts ARE the contract under test
+    fn sched_events_flag_defaults_off_and_propagates() {
+        // Probes that predate the channel never see it — the golden
+        // digests' EventDigest stays migration-blind by construction.
+        assert!(!<Counter as Probe>::WANTS_SCHED_EVENTS);
+        assert!(!<NullProbe as Probe>::WANTS_SCHED_EVENTS);
+        assert!(!<(Counter, NullProbe) as Probe>::WANTS_SCHED_EVENTS);
+
+        struct SchedWatcher(u32, u64);
+        impl Probe for SchedWatcher {
+            const WANTS_SCHED_EVENTS: bool = true;
+            fn migration(&mut self, e: MigrationEvent) {
+                self.0 += 1;
+                self.1 += e.wait;
+            }
+        }
+        assert!(<(NullProbe, SchedWatcher) as Probe>::WANTS_SCHED_EVENTS);
+        assert!(<&mut SchedWatcher as Probe>::WANTS_SCHED_EVENTS);
+        assert!(<Option<SchedWatcher> as Probe>::WANTS_SCHED_EVENTS);
+        let mut pair = (NullProbe, SchedWatcher(0, 0));
+        pair.migration(MigrationEvent {
+            cycle: 10,
+            thread: 2,
+            cluster: 1,
+            ctx: 0,
+            kind: MigrationEventKind::Arrive,
+            wait: 100,
+        });
+        assert_eq!(pair.1 .0, 1);
+        assert_eq!(pair.1 .1, 100);
     }
 
     #[test]

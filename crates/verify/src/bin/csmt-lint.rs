@@ -1,9 +1,11 @@
 //! csmt-lint — static analysis gate for configurations and workloads.
 //!
 //! Validates all seven Table 2 chip configurations (plus the SMT8 alias)
-//! with `ChipConfig::validate`, then materializes and lints every
-//! application's instruction streams (register ranges, dataflow live-ins,
-//! branch-target spans, sync balance).
+//! with `ChipConfig::validate`, checks the scheduler-policy × architecture
+//! matrix (dynamic policies must be rejected on fixed-assignment archs, a
+//! zero rebalance quantum must be rejected everywhere), then materializes
+//! and lints every application's instruction streams (register ranges,
+//! dataflow live-ins, branch-target spans, sync balance).
 //!
 //! ```text
 //! cargo run --release --bin csmt-lint [scale] [n_threads]
@@ -13,7 +15,9 @@
 //! (default 8) the thread count streams are built for. Exits non-zero if
 //! any error-severity issue is found; warnings are informational.
 
-use csmt_core::ArchKind;
+use csmt_core::sched::{by_name, HazardPairing, POLICY_NAMES};
+use csmt_core::{ArchKind, Machine};
+use csmt_mem::MemConfig;
 use csmt_verify::lint_app;
 use csmt_workloads::all_apps;
 
@@ -44,6 +48,47 @@ fn main() {
                 }
                 errors += errs.len();
             }
+        }
+    }
+
+    println!("== scheduler policies ==");
+    for kind in ArchKind::ALL {
+        let fixed = kind.chip().cluster.hw_threads == 1;
+        for name in POLICY_NAMES {
+            let sched = by_name(name).expect("POLICY_NAMES entries resolve");
+            let dynamic = sched.is_dynamic();
+            let mut m = Machine::new(kind.chip(), 1, MemConfig::table3(), SEED);
+            let accepted = m.set_scheduler(sched).is_ok();
+            // Dynamic policies need migratable contexts: fixed-assignment
+            // archs must reject them; everything else must accept.
+            let want = !(fixed && dynamic);
+            if accepted == want {
+                println!(
+                    "  {:<5} {name:<14} {}",
+                    kind.name(),
+                    if accepted { "ok" } else { "rejected (ok)" }
+                );
+            } else {
+                println!(
+                    "  {:<5} {name:<14} error: {} a {} policy",
+                    kind.name(),
+                    if accepted { "accepted" } else { "rejected" },
+                    if dynamic { "dynamic" } else { "static" },
+                );
+                errors += 1;
+            }
+        }
+        // A rebalance quantum of zero would re-run the policy every cycle
+        // forever; the config layer must reject it on every architecture.
+        let mut m = Machine::new(kind.chip(), 1, MemConfig::table3(), SEED);
+        if m.set_scheduler(Box::new(HazardPairing::with_quantum(0)))
+            .is_ok()
+        {
+            println!(
+                "  {:<5} error: zero rebalance quantum accepted",
+                kind.name()
+            );
+            errors += 1;
         }
     }
 

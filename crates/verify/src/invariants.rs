@@ -29,9 +29,17 @@
 //! * **Cluster confinement** — no event references a cluster the machine
 //!   does not have, or an instruction its cluster never fetched (the
 //!   observable signature of a wakeup crossing a cluster boundary).
+//! * **Confinement between migrations** — once migration events identify
+//!   context ownership (the probe latches *sched-aware* on the first
+//!   [`MigrationEvent`]), a thread departs only from a context it owns and
+//!   only after a full drain, arrives only at a free context and only
+//!   after a matching depart, and no context fetches without an owner.
 
 use csmt_core::ChipConfig;
-use csmt_trace::{CacheEvent, CycleStats, FetchEvent, Probe, RenamePoolEvent, StageEvent};
+use csmt_trace::{
+    CacheEvent, CycleStats, FetchEvent, MigrationEvent, MigrationEventKind, Probe, RenamePoolEvent,
+    StageEvent,
+};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -78,6 +86,14 @@ pub enum ViolationKind {
     /// An instruction fetched but neither committed nor squashed by the
     /// end of the run.
     LeakedInstruction,
+    /// A thread left (or appeared at) a context in violation of the
+    /// drain-based migration protocol: departing with instructions still
+    /// in flight, arriving without a matching depart, or still in transit
+    /// when the run drained.
+    MigrationWithoutDrain,
+    /// Context ownership broke: two threads on one context, a depart by a
+    /// non-owner, or activity on a context no thread owns.
+    PlacementConflict,
 }
 
 impl fmt::Display for ViolationKind {
@@ -199,6 +215,14 @@ pub struct InvariantProbe {
     violations: Vec<Violation>,
     /// Violations beyond the cap, counted but not stored.
     dropped: u64,
+    /// Latched on the first migration event: from then on context
+    /// ownership is tracked and fetch on an unowned context is flagged.
+    sched_aware: bool,
+    /// (machine-global cluster, context) → owning software thread.
+    slot_owner: HashMap<(u32, u32), u32>,
+    /// Software threads currently between contexts (departed, not yet
+    /// arrived).
+    in_transit: Vec<u32>,
 }
 
 /// Cap on stored violations in [`Mode::CollectAll`]; a genuinely broken
@@ -247,6 +271,9 @@ impl InvariantProbe {
             events: 0,
             violations: Vec::new(),
             dropped: 0,
+            sched_aware: false,
+            slot_owner: HashMap::new(),
+            in_transit: Vec::new(),
         }
     }
 
@@ -272,6 +299,17 @@ impl InvariantProbe {
     /// violations otherwise.
     pub fn finish(mut self) -> Result<VerifySummary, Vec<Violation>> {
         let last = self.last_cycle;
+        if !self.in_transit.is_empty() {
+            let threads = std::mem::take(&mut self.in_transit);
+            self.violations.push(Violation {
+                kind: ViolationKind::MigrationWithoutDrain,
+                cycle: last,
+                cluster: None,
+                thread: threads.first().copied(),
+                uid: None,
+                detail: format!("thread(s) {threads:?} still in transit at drain"),
+            });
+        }
         for (i, c) in self.clusters.iter().enumerate() {
             if !c.inflight.is_empty() {
                 let mut uids: Vec<u64> = c.inflight.keys().copied().collect();
@@ -393,6 +431,7 @@ impl Probe for InvariantProbe {
     const WANTS_CACHE_EVENTS: bool = true;
     const WANTS_CYCLE_STATS: bool = true;
     const WANTS_POOL_STATS: bool = true;
+    const WANTS_SCHED_EVENTS: bool = true;
 
     fn fetch(&mut self, e: FetchEvent) {
         self.events += 1;
@@ -410,6 +449,16 @@ impl Probe for InvariantProbe {
                 detail: format!("fetch for context {} of {hw}", e.thread),
             });
             return;
+        }
+        if self.sched_aware && !self.slot_owner.contains_key(&(e.cluster, e.thread)) {
+            self.record(Violation {
+                kind: ViolationKind::PlacementConflict,
+                cycle: e.cycle,
+                cluster: Some(e.cluster),
+                thread: Some(e.thread),
+                uid: Some(e.uid),
+                detail: "fetch on a context no software thread owns".to_string(),
+            });
         }
         let last = self.clusters[ci].last_fetch_uid;
         if e.uid <= last {
@@ -562,6 +611,126 @@ impl Probe for InvariantProbe {
         let c = &mut self.clusters[ci];
         c.inflight.remove(&e.uid);
         c.squashed += 1;
+    }
+
+    fn migration(&mut self, e: MigrationEvent) {
+        self.events += 1;
+        self.sched_aware = true;
+        let Some(ci) = self.cluster_checked(e.cycle, e.cluster, None) else {
+            return;
+        };
+        let hw = self.clusters[ci].hw_threads;
+        if e.ctx >= hw || e.thread >= self.thread_capacity {
+            let cap = self.thread_capacity;
+            self.record(Violation {
+                kind: ViolationKind::CrossCluster,
+                cycle: e.cycle,
+                cluster: Some(e.cluster),
+                thread: Some(e.thread),
+                uid: None,
+                detail: format!(
+                    "migration event for context {} of {hw} / thread {} of {cap}",
+                    e.ctx, e.thread
+                ),
+            });
+            return;
+        }
+        let key = (e.cluster, e.ctx);
+        match e.kind {
+            MigrationEventKind::Attach => {
+                if let Some(&owner) = self.slot_owner.get(&key) {
+                    self.record(Violation {
+                        kind: ViolationKind::PlacementConflict,
+                        cycle: e.cycle,
+                        cluster: Some(e.cluster),
+                        thread: Some(e.thread),
+                        uid: None,
+                        detail: format!("attach to a context already owned by thread {owner}"),
+                    });
+                }
+                self.slot_owner.insert(key, e.thread);
+            }
+            MigrationEventKind::Depart => {
+                match self.slot_owner.get(&key) {
+                    Some(&owner) if owner == e.thread => {
+                        self.slot_owner.remove(&key);
+                    }
+                    Some(&owner) => self.record(Violation {
+                        kind: ViolationKind::PlacementConflict,
+                        cycle: e.cycle,
+                        cluster: Some(e.cluster),
+                        thread: Some(e.thread),
+                        uid: None,
+                        detail: format!("depart from a context owned by thread {owner}"),
+                    }),
+                    None => self.record(Violation {
+                        kind: ViolationKind::PlacementConflict,
+                        cycle: e.cycle,
+                        cluster: Some(e.cluster),
+                        thread: Some(e.thread),
+                        uid: None,
+                        detail: "depart from a context no thread owns".to_string(),
+                    }),
+                }
+                let mut inflight: Vec<u64> = self.clusters[ci]
+                    .inflight
+                    .iter()
+                    .filter(|&(_, &(_, t))| t == e.ctx)
+                    .map(|(&uid, _)| uid)
+                    .collect();
+                if !inflight.is_empty() {
+                    inflight.sort_unstable();
+                    inflight.truncate(4);
+                    self.record(Violation {
+                        kind: ViolationKind::MigrationWithoutDrain,
+                        cycle: e.cycle,
+                        cluster: Some(e.cluster),
+                        thread: Some(e.thread),
+                        uid: inflight.first().copied(),
+                        detail: format!(
+                            "departed with instruction(s) still in flight (first uids {inflight:?})"
+                        ),
+                    });
+                }
+                if self.in_transit.contains(&e.thread) {
+                    self.record(Violation {
+                        kind: ViolationKind::MigrationWithoutDrain,
+                        cycle: e.cycle,
+                        cluster: Some(e.cluster),
+                        thread: Some(e.thread),
+                        uid: None,
+                        detail: "depart of a thread already in transit".to_string(),
+                    });
+                } else {
+                    self.in_transit.push(e.thread);
+                }
+            }
+            MigrationEventKind::Arrive => {
+                if self.in_transit.contains(&e.thread) {
+                    self.in_transit.retain(|&t| t != e.thread);
+                } else {
+                    self.record(Violation {
+                        kind: ViolationKind::MigrationWithoutDrain,
+                        cycle: e.cycle,
+                        cluster: Some(e.cluster),
+                        thread: Some(e.thread),
+                        uid: None,
+                        detail: "arrival without a matching depart (teleport)".to_string(),
+                    });
+                }
+                if let Some(&owner) = self.slot_owner.get(&key) {
+                    self.record(Violation {
+                        kind: ViolationKind::PlacementConflict,
+                        cycle: e.cycle,
+                        cluster: Some(e.cluster),
+                        thread: Some(e.thread),
+                        uid: None,
+                        detail: format!("arrival at a context owned by thread {owner}"),
+                    });
+                }
+                self.slot_owner.insert(key, e.thread);
+            }
+        }
     }
 
     fn cache_access(&mut self, e: CacheEvent) {
@@ -860,5 +1029,108 @@ mod tests {
     fn fail_fast_panics_on_first_violation() {
         let mut p = probe().fail_fast();
         p.commit(stage(1, 0, 7));
+    }
+
+    fn mig(
+        cycle: u64,
+        thread: u32,
+        cluster: u32,
+        ctx: u32,
+        kind: MigrationEventKind,
+    ) -> MigrationEvent {
+        MigrationEvent {
+            cycle,
+            thread,
+            cluster,
+            ctx,
+            kind,
+            wait: 0,
+        }
+    }
+
+    #[test]
+    fn migration_protocol_clean_roundtrip() {
+        let mut p = probe();
+        p.migration(mig(0, 0, 0, 0, MigrationEventKind::Attach));
+        p.migration(mig(0, 1, 1, 0, MigrationEventKind::Attach));
+        p.migration(mig(100, 0, 0, 0, MigrationEventKind::Depart));
+        p.migration(mig(200, 0, 1, 1, MigrationEventKind::Arrive));
+        assert!(p.is_clean(), "{:?}", p.violations());
+        assert!(p.finish().is_ok());
+    }
+
+    #[test]
+    fn teleport_arrival_is_flagged() {
+        let mut p = probe();
+        p.migration(mig(0, 0, 0, 0, MigrationEventKind::Attach));
+        // Thread 1 appears at a context with no prior depart.
+        p.migration(mig(50, 1, 1, 2, MigrationEventKind::Arrive));
+        assert_eq!(p.violations()[0].kind, ViolationKind::MigrationWithoutDrain);
+        assert!(p.violations()[0].detail.contains("teleport"));
+    }
+
+    #[test]
+    fn depart_with_inflight_work_is_flagged() {
+        let mut p = probe();
+        p.migration(mig(0, 0, 0, 0, MigrationEventKind::Attach));
+        p.fetch(fetch(1, 0, 0, 1)); // context 0 now has uid 1 in flight
+        p.migration(mig(2, 0, 0, 0, MigrationEventKind::Depart));
+        assert!(
+            p.violations()
+                .iter()
+                .any(|v| v.kind == ViolationKind::MigrationWithoutDrain
+                    && v.detail.contains("in flight")),
+            "{:?}",
+            p.violations()
+        );
+    }
+
+    #[test]
+    fn depart_by_non_owner_is_placement_conflict() {
+        let mut p = probe();
+        p.migration(mig(0, 0, 0, 0, MigrationEventKind::Attach));
+        p.migration(mig(10, 3, 0, 0, MigrationEventKind::Depart));
+        assert_eq!(p.violations()[0].kind, ViolationKind::PlacementConflict);
+    }
+
+    #[test]
+    fn arrival_at_owned_context_is_placement_conflict() {
+        let mut p = probe();
+        p.migration(mig(0, 0, 0, 0, MigrationEventKind::Attach));
+        p.migration(mig(0, 1, 1, 0, MigrationEventKind::Attach));
+        p.migration(mig(10, 0, 0, 0, MigrationEventKind::Depart));
+        p.migration(mig(120, 0, 1, 0, MigrationEventKind::Arrive)); // thread 1 lives there
+        assert!(p
+            .violations()
+            .iter()
+            .any(|v| v.kind == ViolationKind::PlacementConflict));
+    }
+
+    #[test]
+    fn fetch_on_unowned_context_is_flagged_once_sched_aware() {
+        let mut p = probe();
+        // Not sched-aware yet: fetch on any context is fine.
+        p.fetch(fetch(1, 0, 1, 1));
+        assert!(p.is_clean());
+        p.migration(mig(2, 0, 0, 0, MigrationEventKind::Attach));
+        // Now ownership is tracked: context 1 of cluster 0 has no owner.
+        p.fetch(fetch(3, 0, 1, 2));
+        assert!(p
+            .violations()
+            .iter()
+            .any(|v| v.kind == ViolationKind::PlacementConflict
+                && v.detail.contains("no software thread owns")));
+    }
+
+    #[test]
+    fn thread_still_in_transit_at_drain_is_flagged() {
+        let mut p = probe();
+        p.migration(mig(0, 0, 0, 0, MigrationEventKind::Attach));
+        p.migration(mig(10, 0, 0, 0, MigrationEventKind::Depart));
+        let errs = p.finish().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|v| v.kind == ViolationKind::MigrationWithoutDrain
+                && v.detail.contains("in transit at drain")));
     }
 }

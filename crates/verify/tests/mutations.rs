@@ -14,7 +14,10 @@
 
 use csmt_core::{ArchKind, ChipConfig};
 use csmt_mem::MemConfig;
-use csmt_trace::{CacheEvent, CycleStats, FetchEvent, Probe, RenamePoolEvent, StageEvent};
+use csmt_trace::{
+    CacheEvent, CycleStats, FetchEvent, MigrationEvent, MigrationEventKind, Probe, RenamePoolEvent,
+    StageEvent,
+};
 use csmt_verify::{InvariantProbe, VerifySummary, Violation, ViolationKind};
 use csmt_workloads::{by_name, simulate_probed};
 use std::collections::HashMap;
@@ -48,6 +51,9 @@ enum Fault {
     StoreFlood,
     /// Rewind the cumulative committed counter by one.
     StatsRewind,
+    /// Synthesize a `Depart` for a thread whose context still has an
+    /// instruction in flight — a migration that skipped the drain.
+    ThreadTeleport,
 }
 
 /// Probe wrapper that forwards to an [`InvariantProbe`], firing `fault`
@@ -67,6 +73,9 @@ struct FaultInjector {
     n_clusters: u32,
     /// Cluster-0 uid → hardware thread, from fetch events (for the swap).
     threads: HashMap<u64, u32>,
+    /// (cluster, context) → software thread id, from `Attach` migration
+    /// events (for the teleport fault's owner lookup).
+    slot_tid: HashMap<(u32, u32), u32>,
     held_commit: Option<StageEvent>,
 }
 
@@ -81,6 +90,7 @@ impl FaultInjector {
             store_cap: chip.clusters * chip.cluster.store_buffer,
             n_clusters: (chip.clusters * n_chips) as u32,
             threads: HashMap::new(),
+            slot_tid: HashMap::new(),
             held_commit: None,
         }
     }
@@ -105,6 +115,7 @@ impl Probe for FaultInjector {
     const WANTS_CACHE_EVENTS: bool = true;
     const WANTS_CYCLE_STATS: bool = true;
     const WANTS_POOL_STATS: bool = true;
+    const WANTS_SCHED_EVENTS: bool = true;
 
     fn fetch(&mut self, e: FetchEvent) {
         if e.cluster == 0 {
@@ -117,6 +128,21 @@ impl Probe for FaultInjector {
                 self.inner.fetch(FetchEvent {
                     uid: 1_000_000 + i,
                     ..e
+                });
+            }
+        }
+        if self.armed && self.fault == Fault::ThreadTeleport && e.cluster == 0 {
+            // The fetch just forwarded is in flight on this context, so a
+            // depart right now is a migration that skipped the drain.
+            if let Some(&tid) = self.slot_tid.get(&(e.cluster, e.thread)) {
+                self.armed = false;
+                self.inner.migration(MigrationEvent {
+                    cycle: e.cycle,
+                    thread: tid,
+                    cluster: e.cluster,
+                    ctx: e.thread,
+                    kind: MigrationEventKind::Depart,
+                    wait: 0,
                 });
             }
         }
@@ -207,6 +233,13 @@ impl Probe for FaultInjector {
 
     fn sync_event(&mut self, e: csmt_trace::SyncEvent) {
         self.inner.sync_event(e);
+    }
+
+    fn migration(&mut self, e: MigrationEvent) {
+        if e.kind == MigrationEventKind::Attach {
+            self.slot_tid.insert((e.cluster, e.ctx), e.thread);
+        }
+        self.inner.migration(e);
     }
 
     fn rename_pools(&mut self, e: RenamePoolEvent) {
@@ -326,4 +359,9 @@ fn store_flood_trips_store_buffer_overflow() {
 #[test]
 fn stats_rewind_trips_stats_regression() {
     caught(Fault::StatsRewind, ViolationKind::StatsRegression);
+}
+
+#[test]
+fn thread_teleport_trips_migration_without_drain() {
+    caught(Fault::ThreadTeleport, ViolationKind::MigrationWithoutDrain);
 }

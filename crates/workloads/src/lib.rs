@@ -40,7 +40,10 @@ pub mod tls;
 
 pub use apps::{all_apps, build_streams, by_name, AppParams, AppSpec};
 pub use multiprogram::{
-    multiprogram_streams, simulate_job_batches, simulate_multiprogram, BatchResult,
+    multiprogram_streams, simulate_job_batches, simulate_multiprogram,
+    simulate_multiprogram_with_sched, BatchResult,
 };
-pub use runner::{simulate, simulate_probed, simulate_with_chip, simulate_with_mem};
+pub use runner::{
+    simulate, simulate_probed, simulate_with_chip, simulate_with_mem, simulate_with_sched,
+};
 pub use tls::{simulate_tls, tls_streams, TlsLoop, TlsResult};

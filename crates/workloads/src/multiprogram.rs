@@ -13,7 +13,7 @@
 //! whichever narrow cluster its program happens to stall on.
 
 use crate::apps::{build_streams, AppParams, AppSpec};
-use csmt_core::{ArchKind, ChipConfig, Machine, RunResult};
+use csmt_core::{ArchKind, ChipConfig, Machine, RunResult, ThreadScheduler};
 use csmt_isa::InstStream;
 use csmt_mem::MemConfig;
 
@@ -67,6 +67,27 @@ pub fn simulate_multiprogram_with_chip(
     seed: u64,
 ) -> RunResult {
     let mut machine = Machine::new(chip, n_chips, MemConfig::table3(), seed);
+    let n = machine.hw_thread_capacity();
+    machine.attach_threads_grouped(multiprogram_streams(apps, n, scale, seed));
+    machine.run(MAX_CYCLES)
+}
+
+/// [`simulate_multiprogram`] with an explicit thread-to-cluster scheduling
+/// policy. Multiprogrammed mixes never hit a barrier, so quantum-driven
+/// policies (hazard pairing) are the interesting ones here. Panics on an
+/// invalid policy × architecture combination.
+pub fn simulate_multiprogram_with_sched(
+    apps: &[AppSpec],
+    arch: ArchKind,
+    n_chips: usize,
+    scale: f64,
+    seed: u64,
+    sched: Box<dyn ThreadScheduler + Send>,
+) -> RunResult {
+    let mut machine = Machine::new(arch.chip(), n_chips, MemConfig::table3(), seed);
+    machine
+        .set_scheduler(sched)
+        .unwrap_or_else(|e| panic!("invalid scheduler for {}: {e}", arch.name()));
     let n = machine.hw_thread_capacity();
     machine.attach_threads_grouped(multiprogram_streams(apps, n, scale, seed));
     machine.run(MAX_CYCLES)
@@ -200,6 +221,29 @@ mod tests {
             r.committed,
             r2.committed
         );
+    }
+
+    #[test]
+    fn hazard_pairing_mix_conserves_committed_work() {
+        use csmt_core::{HazardPairing, StaticRoundRobin};
+        let mix = [apps::swim(), apps::ocean()];
+        let stat = simulate_multiprogram_with_sched(
+            &mix,
+            ArchKind::Smt2,
+            1,
+            0.02,
+            7,
+            Box::new(StaticRoundRobin),
+        );
+        let paired = simulate_multiprogram_with_sched(
+            &mix,
+            ArchKind::Smt2,
+            1,
+            0.02,
+            7,
+            Box::new(HazardPairing::default()),
+        );
+        assert_eq!(stat.slots.committed, paired.slots.committed);
     }
 
     #[test]

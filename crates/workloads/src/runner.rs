@@ -5,7 +5,7 @@
 //! completion, return the statistics.
 
 use crate::apps::{build_streams, AppParams, AppSpec};
-use csmt_core::{ArchKind, Machine, RunResult};
+use csmt_core::{ArchKind, Machine, RunResult, ThreadScheduler};
 use csmt_mem::MemConfig;
 
 /// Ceiling on simulated cycles; hitting it means a deadlock (a bug).
@@ -50,6 +50,29 @@ pub fn simulate_with_chip(
         mem,
         &mut csmt_trace::NullProbe,
     )
+}
+
+/// [`simulate`] with an explicit thread-to-cluster scheduling policy
+/// (overriding the `CSMT_SCHED` environment default). Panics if the policy
+/// is invalid for the architecture — dynamic policies on fixed-assignment
+/// chips, zero rebalance quantum — callers wanting a soft failure should
+/// pre-validate with [`Machine::set_scheduler`] themselves.
+pub fn simulate_with_sched(
+    app: &AppSpec,
+    arch: ArchKind,
+    n_chips: usize,
+    scale: f64,
+    seed: u64,
+    sched: Box<dyn ThreadScheduler + Send>,
+) -> RunResult {
+    let mut machine = Machine::new(arch.chip(), n_chips, MemConfig::table3(), seed);
+    machine
+        .set_scheduler(sched)
+        .unwrap_or_else(|e| panic!("invalid scheduler for {}: {e}", arch.name()));
+    let n_threads = machine.hw_thread_capacity();
+    let params = AppParams::new(n_threads, n_chips, scale, seed);
+    machine.attach_threads(build_streams(app, &params));
+    machine.run(MAX_CYCLES)
 }
 
 /// [`simulate_with_chip`] with an observability probe attached to every
@@ -140,6 +163,30 @@ mod tests {
         let b = simulate(&app, ArchKind::Smt4, 1, SCALE, 9);
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.slots, b.slots);
+    }
+
+    #[test]
+    fn dynamic_policy_conserves_committed_work() {
+        use csmt_core::{BarrierRebalance, StaticRoundRobin};
+        let app = apps::mgrid();
+        let stat = simulate_with_sched(
+            &app,
+            ArchKind::Smt2,
+            1,
+            SCALE,
+            42,
+            Box::new(StaticRoundRobin),
+        );
+        let dynamic = simulate_with_sched(
+            &app,
+            ArchKind::Smt2,
+            1,
+            SCALE,
+            42,
+            Box::new(BarrierRebalance::default()),
+        );
+        assert_eq!(stat.slots.committed, dynamic.slots.committed);
+        assert_eq!(stat.migrations, 0);
     }
 
     #[test]

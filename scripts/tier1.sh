@@ -32,6 +32,12 @@ cargo run -q --release -p csmt-verify --bin csmt-lint
 echo "==> invariant golden run (all architectures under InvariantProbe)"
 cargo test -q -p csmt-verify --test golden_invariants
 
+echo "==> invariant golden run under CSMT_SCHED=hazard_pairing (dynamic migration path)"
+CSMT_SCHED=hazard_pairing cargo test -q -p csmt-verify --test golden_invariants
+
+echo "==> fig9 dynamic-allocation smoke (all policies vs SMT2/FA4)"
+cargo run -q --release -p csmt-bench --bin fig9_dynamic_alloc -- --smoke >/dev/null
+
 # Miri needs a nightly toolchain with the miri component; run it when
 # available (CI installs it), skip gracefully on stable-only setups.
 if cargo miri --version >/dev/null 2>&1; then

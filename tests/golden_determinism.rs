@@ -203,6 +203,45 @@ fn high_end_four_chip_digest_is_bit_for_bit_stable() {
     );
 }
 
+/// Explicitly installing the default scheduling policy
+/// (`StaticRoundRobin`, what `CSMT_SCHED=static` selects) must reproduce
+/// every golden digest bit for bit: the scheduler seam with the static
+/// policy is pure plumbing, invisible to cycles, statistics, and the
+/// event stream alike.
+#[test]
+fn static_round_robin_reproduces_every_golden_digest() {
+    use csmt_core::sched::StaticRoundRobin;
+    use csmt_core::Machine;
+    use csmt_workloads::{build_streams, AppParams};
+
+    let app = by_name(APP).expect("paper app");
+    for (i, arch) in ARCHS.into_iter().enumerate() {
+        let mut m = Machine::new(arch.chip(), 1, csmt_mem::MemConfig::table3(), SEED);
+        m.set_scheduler(Box::new(StaticRoundRobin))
+            .expect("static policy is valid everywhere");
+        let n_threads = m.hw_thread_capacity();
+        let params = AppParams::new(n_threads, 1, SCALE, SEED);
+        m.attach_threads(build_streams(&app, &params));
+        let mut probe = EventDigest::new();
+        let r = m.run_probed(2_000_000_000, &mut probe);
+        let json = serde_json::to_string(&r).expect("RunResult serializes");
+        let mut rd = Fnv::new();
+        rd.update(json.as_bytes());
+        let got = (
+            arch.name(),
+            r.cycles,
+            r.slots.committed,
+            rd.finish(),
+            probe.fnv.finish(),
+        );
+        assert_eq!(
+            got, EXPECTED[i],
+            "explicit StaticRoundRobin drifted from the golden digest"
+        );
+        assert_eq!(r.migrations, 0, "{}: static policy must not migrate", got.0);
+    }
+}
+
 /// The digests must not depend on whether a probe observes the run: the
 /// unprobed path (`NullProbe` monomorphization) must produce the same
 /// statistics as the probed one.

@@ -1,15 +1,19 @@
 //! Minimal offline stand-in for `serde_derive`.
 //!
 //! Implements `#[derive(Serialize)]` for structs with named fields (the
-//! only shape this workspace derives on), honoring `#[serde(skip)]` on
-//! fields. Parsing walks the raw token stream directly — no `syn`/`quote`,
-//! since the build environment is offline and those crates are unavailable.
+//! only shape this workspace derives on), honoring `#[serde(skip)]` and
+//! `#[serde(skip_serializing_if = "pred")]` on fields. Parsing walks the
+//! raw token stream directly — no `syn`/`quote`, since the build
+//! environment is offline and those crates are unavailable.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derive `serde::Serialize` (the vendored stand-in's `to_value` form) for
 /// a struct with named fields. Fields annotated `#[serde(skip)]` are
-/// omitted from the output object.
+/// omitted from the output object; fields annotated
+/// `#[serde(skip_serializing_if = "pred")]` are omitted when `pred(&field)`
+/// returns true (the predicate path resolves in the struct's module, as in
+/// real serde).
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
@@ -51,15 +55,23 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 
     let fields = parse_named_fields(body);
     let mut members = String::new();
-    for f in &fields {
-        members.push_str(&format!(
-            "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),"
-        ));
+    for (f, pred) in &fields {
+        let push = format!(
+            "obj.push((::std::string::String::from(\"{f}\"), \
+             ::serde::Serialize::to_value(&self.{f})));"
+        );
+        match pred {
+            None => members.push_str(&push),
+            Some(p) => members.push_str(&format!("if !{p}(&self.{f}) {{ {push} }}")),
+        }
     }
     let out = format!(
         "impl ::serde::Serialize for {name} {{\n\
              fn to_value(&self) -> ::serde::Value {{\n\
-                 ::serde::Value::Object(::std::vec![{members}])\n\
+                 let mut obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> =\n\
+                     ::std::vec::Vec::new();\n\
+                 {members}\n\
+                 ::serde::Value::Object(obj)\n\
              }}\n\
          }}"
     );
@@ -67,14 +79,18 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("derive(Serialize): generated impl must parse")
 }
 
-/// Extract non-skipped field names from a named-fields body stream.
-fn parse_named_fields(body: TokenStream) -> Vec<String> {
+/// Extract field names (and the optional `skip_serializing_if` predicate
+/// path) from a named-fields body stream; `#[serde(skip)]` fields are
+/// dropped entirely.
+fn parse_named_fields(body: TokenStream) -> Vec<(String, Option<String>)> {
     let toks: Vec<TokenTree> = body.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < toks.len() {
-        // Leading field attributes; detect `#[serde(skip)]`.
+        // Leading field attributes; detect `#[serde(skip)]` and
+        // `#[serde(skip_serializing_if = "pred")]`.
         let mut skip = false;
+        let mut pred: Option<String> = None;
         while let (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g))) =
             (toks.get(i), toks.get(i + 1))
         {
@@ -85,12 +101,25 @@ fn parse_named_fields(body: TokenStream) -> Vec<String> {
             if let Some(TokenTree::Ident(id)) = attr.first() {
                 if id.to_string() == "serde" {
                     if let Some(TokenTree::Group(args)) = attr.get(1) {
-                        if args
-                            .stream()
-                            .into_iter()
-                            .any(|t| matches!(t, TokenTree::Ident(w) if w.to_string() == "skip"))
-                        {
-                            skip = true;
+                        let args: Vec<TokenTree> = args.stream().into_iter().collect();
+                        for (k, t) in args.iter().enumerate() {
+                            let TokenTree::Ident(w) = t else { continue };
+                            match w.to_string().as_str() {
+                                "skip" => skip = true,
+                                "skip_serializing_if" => {
+                                    if let (
+                                        Some(TokenTree::Punct(eq)),
+                                        Some(TokenTree::Literal(l)),
+                                    ) = (args.get(k + 1), args.get(k + 2))
+                                    {
+                                        if eq.as_char() == '=' {
+                                            pred =
+                                                Some(l.to_string().trim_matches('"').to_string());
+                                        }
+                                    }
+                                }
+                                _ => {}
+                            }
                         }
                     }
                 }
@@ -131,7 +160,7 @@ fn parse_named_fields(body: TokenStream) -> Vec<String> {
             i += 1;
         }
         if !skip {
-            fields.push(fname);
+            fields.push((fname, pred));
         }
     }
     fields
