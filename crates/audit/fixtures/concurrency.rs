@@ -1,0 +1,10 @@
+//! Seeded `concurrency` violation for the csmt-audit self-test.
+//!
+//! Scanned as `crates/core/src/fixture.rs` with no [[seam]] covering
+//! it; the audit must flag the `Mutex` on line 9 and nothing else.
+
+/// A shared-state primitive in a sim crate: event order would depend
+/// on the host scheduler, not on (config, workload, seed).
+pub fn shared_counter() -> impl Sized {
+    std::sync::Mutex::new(0u64)
+}

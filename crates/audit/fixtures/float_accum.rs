@@ -1,0 +1,11 @@
+//! Seeded `float-accum` violation for the csmt-audit self-test.
+//!
+//! Scanned as `crates/workloads/src/fixture.rs`; the audit must warn
+//! about the order-sensitive reduction on line 10 and nothing else.
+
+use csmt_isa::fxhash::FxHashMap;
+
+/// f64 addition is not associative: this sum depends on hasher order.
+pub fn total(weights: &FxHashMap<u64, f64>) -> f64 {
+    weights.values().sum::<f64>()
+}

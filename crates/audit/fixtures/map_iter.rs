@@ -1,0 +1,11 @@
+//! Seeded `map-iter` violation for the csmt-audit self-test.
+//!
+//! Scanned as `crates/core/src/fixture.rs`; the audit must flag the
+//! `.keys()` iteration on line 10 and nothing else.
+
+use std::collections::HashMap;
+
+/// Key order here is whatever the hasher picked this run.
+pub fn keys_unordered(m: &HashMap<u32, u32>) -> Vec<u32> {
+    m.keys().copied().collect()
+}

@@ -1,0 +1,9 @@
+//! Seeded `wall-clock` violation for the csmt-audit self-test.
+//!
+//! Scanned as `crates/cpu/src/fixture.rs`; the audit must flag the
+//! `Instant::now()` read on line 8 and nothing else.
+
+/// Reads the host clock — results stop being a function of the seed.
+pub fn stamp_ns() -> u128 {
+    std::time::Instant::now().elapsed().as_nanos()
+}

@@ -135,6 +135,7 @@ fn main() {
         return;
     }
 
+    csmt_bench::validate_sched_env();
     let arch_name: String = csmt_bench::arg_or(1, "SMT2".into());
     let app_name: String = csmt_bench::arg_or(2, "mgrid".into());
     let scale: f64 = csmt_bench::arg_or(3, 0.2);

@@ -160,6 +160,7 @@ fn main() {
         );
         return;
     }
+    csmt_bench::validate_sched_env();
     let app_name: String = csmt_bench::arg_or(1, "vpenta".into());
     let scale: f64 = csmt_bench::arg_or(2, 0.3);
     let chips: usize = csmt_bench::arg_or(3, 1);

@@ -126,11 +126,17 @@ fn main() {
         match a.as_str() {
             "--smoke" => smoke = true,
             "--sched" => {
-                let p = args.next().expect("--sched needs a policy name");
-                assert!(
-                    POLICY_NAMES.contains(&p.as_str()),
-                    "unknown policy {p:?}; known: {POLICY_NAMES:?}"
-                );
+                let Some(p) = args.next() else {
+                    eprintln!("--sched needs a policy name\n\n{}", usage());
+                    std::process::exit(2);
+                };
+                if !POLICY_NAMES.contains(&p.as_str()) {
+                    eprintln!(
+                        "unknown scheduling policy {p:?} (valid policies: {})",
+                        POLICY_NAMES.join(", ")
+                    );
+                    std::process::exit(2);
+                }
                 only = Some(p);
             }
             "--help" | "-h" => {
@@ -141,6 +147,7 @@ fn main() {
         }
     }
     let scale = scale.unwrap_or(if smoke { SMOKE_SCALE } else { FIGURE_SCALE });
+    csmt_bench::validate_sched_env();
 
     let apps = all_apps();
     let mix: Vec<AppSpec> = vec![

@@ -53,7 +53,7 @@ pub const ENV_KNOBS: &[(&str, &str, &str)] = &[
     (
         "CSMT_SCHED=<policy>",
         "all simulators",
-        "thread-to-cluster allocation policy: static (default), barrier, hazard_pairing; dynamic policies fall back to static on fixed-assignment archs",
+        "thread-to-cluster allocation policy: static (default), barrier, hazard_pairing; dynamic policies fall back to static on fixed-assignment archs; an unknown name exits 2 with the valid names",
     ),
     (
         "CSMT_JSON_DIR=<dir>",
@@ -75,6 +75,18 @@ pub fn render_env_knobs() -> String {
         let _ = writeln!(out, "  {name:<26} [{bins}]\n      {what}");
     }
     out
+}
+
+/// Validate the `CSMT_SCHED` selection before a sweep starts: on an
+/// unknown policy name, print the valid names and exit 2 (the
+/// `CSMT_VERIFY` convention) instead of panicking mid-run from inside
+/// machine construction. Call this early in every binary `main` that
+/// simulates.
+pub fn validate_sched_env() {
+    if let Err(e) = csmt_core::sched::policy_from_env() {
+        eprintln!("error: {e} (from CSMT_SCHED)");
+        std::process::exit(2);
+    }
 }
 
 /// Parse argv[`n`] as a `T`, falling back to `default` when the argument

@@ -19,8 +19,8 @@ use crate::configs::ChipConfig;
 use crate::result::RunResult;
 use crate::runtime::{Action, Runtime, ThreadId};
 use crate::sched::{
-    by_name, Migration, SchedConfigError, SchedSnapshot, StaticRoundRobin, ThreadObs,
-    ThreadScheduler, Topology, MIGRATION_COST,
+    Migration, SchedConfigError, SchedSnapshot, StaticRoundRobin, ThreadObs, ThreadScheduler,
+    Topology, MIGRATION_COST,
 };
 use csmt_cpu::{Cluster, ClusterEvent, DetachedThread, ThreadState};
 use csmt_isa::InstStream;
@@ -173,19 +173,15 @@ impl Machine {
     /// (default `static`). A dynamic policy requested on a fixed-assignment
     /// architecture silently degrades to static — FA machines pin thread
     /// assignment by construction, and figure sweeps set one `CSMT_SCHED`
-    /// for every architecture. Unknown names panic (a typo should not
-    /// silently change the experiment).
+    /// for every architecture. Unknown names panic here as a backstop (a
+    /// typo must not silently change the experiment) — binaries validate
+    /// first via [`crate::sched::policy_from_env`] and exit 2 cleanly.
     fn sched_from_env(cfg: &ChipConfig) -> Box<dyn ThreadScheduler + Send> {
-        let Some(name) = std::env::var_os("CSMT_SCHED") else {
-            return Box::new(StaticRoundRobin);
+        let sched = match crate::sched::policy_from_env() {
+            Ok(None) => return Box::new(StaticRoundRobin),
+            Ok(Some(sched)) => sched,
+            Err(e) => panic!("{e} (from CSMT_SCHED)"),
         };
-        let name = name.to_string_lossy().into_owned();
-        let sched = by_name(&name).unwrap_or_else(|| {
-            panic!(
-                "unknown CSMT_SCHED policy {name:?} (expected one of {:?})",
-                crate::sched::POLICY_NAMES
-            )
-        });
         if sched.is_dynamic() && Self::fixed_assignment(cfg) {
             return Box::new(StaticRoundRobin);
         }

@@ -10,7 +10,7 @@
 //! locks"), exactly the quantity in the paper's stacked bars.
 
 use csmt_isa::SyncOp;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Global software-thread id across the whole machine.
 pub type ThreadId = usize;
@@ -44,8 +44,12 @@ pub struct Runtime {
     group_of: Vec<usize>,
     /// Live (not yet exited) threads per group.
     live_per_group: Vec<usize>,
-    barriers: HashMap<(usize, u32), Barrier>,
-    locks: HashMap<(usize, u32), Lock>,
+    // Ordered maps: `thread_done` iterates `barriers` to find ones a
+    // shrinking group completes, and the order of the resulting
+    // `Action::Resume` pushes is digest-visible. (csmt-audit's map-iter
+    // rule caught the original `HashMap` here.)
+    barriers: BTreeMap<(usize, u32), Barrier>,
+    locks: BTreeMap<(usize, u32), Lock>,
     done: Vec<bool>,
     barrier_episodes: u64,
     lock_acquisitions: u64,
@@ -73,8 +77,8 @@ impl Runtime {
             n_threads,
             group_of: groups,
             live_per_group: live,
-            barriers: HashMap::new(),
-            locks: HashMap::new(),
+            barriers: BTreeMap::new(),
+            locks: BTreeMap::new(),
             done: vec![false; n_threads],
             barrier_episodes: 0,
             lock_acquisitions: 0,

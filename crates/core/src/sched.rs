@@ -221,6 +221,44 @@ pub fn by_name(name: &str) -> Option<Box<dyn ThreadScheduler + Send>> {
 /// Names accepted by [`by_name`], for help/usage text.
 pub const POLICY_NAMES: [&str; 3] = ["static", "barrier", "hazard_pairing"];
 
+/// A `CSMT_SCHED` / `--sched` name [`by_name`] does not recognize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownPolicy {
+    /// The spelling that failed to resolve.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown scheduling policy {:?} (valid policies: {})",
+            self.name,
+            POLICY_NAMES.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownPolicy {}
+
+/// Resolve the `CSMT_SCHED` environment selection without building a
+/// machine: `Ok(None)` when the variable is unset, `Ok(Some(policy))`
+/// for a valid name, `Err` for a typo. Binaries call this before
+/// starting a sweep so a misspelled policy produces a clean message and
+/// exit code 2 (the `CSMT_VERIFY` convention) instead of a panic
+/// mid-run.
+///
+/// # Errors
+/// [`UnknownPolicy`] when `CSMT_SCHED` is set to a name outside
+/// [`POLICY_NAMES`].
+pub fn policy_from_env() -> Result<Option<Box<dyn ThreadScheduler + Send>>, UnknownPolicy> {
+    let Some(name) = std::env::var_os("CSMT_SCHED") else {
+        return Ok(None);
+    };
+    let name = name.to_string_lossy().into_owned();
+    by_name(&name).map(Some).ok_or(UnknownPolicy { name })
+}
+
 /// The paper's static policy: round-robin placement at attach, no
 /// migrations. The default, pinned bit-for-bit against the golden
 /// determinism digests.
@@ -660,6 +698,18 @@ mod tests {
         };
         s.observe(100, &snap);
         assert!(s.rebalance(100, &snap).is_empty());
+    }
+
+    #[test]
+    fn unknown_policy_message_lists_valid_names() {
+        let msg = UnknownPolicy {
+            name: "typo".into(),
+        }
+        .to_string();
+        assert!(msg.contains("\"typo\""), "{msg}");
+        for n in POLICY_NAMES {
+            assert!(msg.contains(n), "{msg} should list {n}");
+        }
     }
 
     #[test]

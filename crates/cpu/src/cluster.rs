@@ -372,6 +372,9 @@ impl Cluster {
     /// entry with a destination (fetch allocates before install; release
     /// returns it on both commit and squash).
     fn emit_pool_stats<P: Probe>(&self, now: u64, probe: &mut P, cluster_id: u32) {
+        if !P::WANTS_POOL_STATS {
+            return;
+        }
         let (mut int_held, mut fp_held) = (0u32, 0u32);
         for e in &self.win.entries {
             if e.valid {
@@ -399,6 +402,9 @@ impl Cluster {
     /// cheap, but the emission is still gated (default off) so existing
     /// probes' event streams stay bit-for-bit.
     fn emit_occ_stats<P: Probe>(&self, now: u64, probe: &mut P, cluster_id: u32) {
+        if !P::WANTS_OCC_STATS {
+            return;
+        }
         probe.window_occ(WindowOccEvent {
             cycle: now,
             cluster: cluster_id,

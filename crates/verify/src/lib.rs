@@ -18,6 +18,9 @@
 //! * [`lint`] — stream-level static analysis of the synthetic workloads
 //!   (dangling sources, out-of-span branch targets, unbalanced sync),
 //!   driven by the `csmt-lint` binary.
+//! * [`digest`] — the canonical FNV-1a event-stream digest behind every
+//!   bit-for-bit claim: [`EventDigest`] (what the golden digests pin)
+//!   and [`SchedEventDigest`] (plus the migration channel).
 //!
 //! The checker rides the zero-cost probe layer: a `NullProbe` build
 //! contains none of it, and the golden-determinism digests are unchanged
@@ -37,9 +40,11 @@
 //! assert!(summary.committed > 0);
 //! ```
 
+pub mod digest;
 pub mod invariants;
 pub mod lint;
 
+pub use digest::{EventDigest, Fnv64, SchedEventDigest};
 pub use invariants::{InvariantProbe, Mode, VerifySummary, Violation, ViolationKind};
 pub use lint::{
     lint_app, lint_stream, lint_threads, materialize, LintIssue, LintKind, LintSeverity,

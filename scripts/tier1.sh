@@ -26,6 +26,9 @@ echo "==> csmt-report smoke (low-end SMT2 + high-end FA4, top-down accounting)"
 cargo run -q --release -p csmt-bench --bin csmt-report -- SMT2 mgrid 0.1 1 >/dev/null
 cargo run -q --release -p csmt-bench --bin csmt-report -- FA4 mgrid 0.1 4 >/dev/null
 
+echo "==> csmt-audit (determinism & hot-path static analysis, warnings denied)"
+cargo run -q --release -p csmt-audit --bin csmt-audit -- --deny-warnings
+
 echo "==> csmt-lint (Table 2 configs + workload streams)"
 cargo run -q --release -p csmt-verify --bin csmt-lint
 

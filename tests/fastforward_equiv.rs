@@ -12,70 +12,12 @@
 
 use csmt_core::{ArchKind, Machine};
 use csmt_mem::MemConfig;
-use csmt_trace::{CacheEvent, CycleStats, FetchEvent, Probe, StageEvent, SyncEvent};
+use csmt_verify::EventDigest;
 use csmt_workloads::{build_streams, by_name, AppParams};
 use proptest::prelude::*;
-use std::fmt::Write as _;
 
 const SCALE: f64 = 0.05;
 const MAX_CYCLES: u64 = 2_000_000_000;
-
-/// FNV-1a over the `Debug` rendering of every probe event, in order (the
-/// same digest construction as `tests/golden_determinism.rs`).
-struct EventDigest {
-    hash: u64,
-    buf: String,
-    events: u64,
-}
-
-impl EventDigest {
-    fn new() -> Self {
-        EventDigest {
-            hash: 0xcbf2_9ce4_8422_2325,
-            buf: String::with_capacity(256),
-            events: 0,
-        }
-    }
-    fn absorb(&mut self, tag: &str, payload: std::fmt::Arguments<'_>) {
-        self.buf.clear();
-        let _ = write!(self.buf, "{tag}:{payload};");
-        for &b in self.buf.as_bytes() {
-            self.hash ^= b as u64;
-            self.hash = self.hash.wrapping_mul(0x100_0000_01b3);
-        }
-        self.events += 1;
-    }
-}
-
-impl Probe for EventDigest {
-    fn fetch(&mut self, e: FetchEvent) {
-        self.absorb("F", format_args!("{e:?}"));
-    }
-    fn rename(&mut self, e: StageEvent) {
-        self.absorb("R", format_args!("{e:?}"));
-    }
-    fn issue(&mut self, e: StageEvent) {
-        self.absorb("I", format_args!("{e:?}"));
-    }
-    fn writeback(&mut self, e: StageEvent) {
-        self.absorb("W", format_args!("{e:?}"));
-    }
-    fn commit(&mut self, e: StageEvent) {
-        self.absorb("C", format_args!("{e:?}"));
-    }
-    fn squash(&mut self, e: StageEvent) {
-        self.absorb("Q", format_args!("{e:?}"));
-    }
-    fn cache_access(&mut self, e: CacheEvent) {
-        self.absorb("M", format_args!("{e:?}"));
-    }
-    fn sync_event(&mut self, e: SyncEvent) {
-        self.absorb("S", format_args!("{e:?}"));
-    }
-    fn cycle_end(&mut self, cycle: u64, stats: Option<&CycleStats>) {
-        self.absorb("E", format_args!("{cycle}:{stats:?}"));
-    }
-}
 
 /// Run `app` on (`arch` × `chips`) with the fast-forward forced to
 /// `fastforward`; returns (serialized RunResult, cycles, event digest,
@@ -96,7 +38,7 @@ fn run_once(
     let mut probe = EventDigest::new();
     let r = m.run_probed(MAX_CYCLES, &mut probe);
     let json = serde_json::to_string(&r).expect("RunResult serializes");
-    (json, r.cycles, probe.hash, probe.events)
+    (json, r.cycles, probe.hash(), probe.events())
 }
 
 fn arb_arch() -> impl Strategy<Value = ArchKind> {

@@ -15,9 +15,8 @@
 //! `GOLDEN_PRINT=1 cargo test -q --test golden_determinism -- --nocapture`
 
 use csmt_core::ArchKind;
-use csmt_trace::{CacheEvent, CycleStats, FetchEvent, Probe, StageEvent, SyncEvent};
+use csmt_verify::{EventDigest, Fnv64};
 use csmt_workloads::{by_name, simulate_probed};
-use std::fmt::Write as _;
 
 const SCALE: f64 = 0.2;
 const SEED: u64 = 0xC5_317;
@@ -45,81 +44,6 @@ const EXPECTED: [(&str, u64, u64, u64, u64); 7] = [
     ("SMT1", 5195, 22160, 0xd9530d8cd531ffe1, 0xa912b83cb94c7ebf),
 ];
 
-/// FNV-1a over bytes; stable across platforms and rustc versions.
-#[derive(Clone, Copy)]
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Self {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-    fn update(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= b as u64;
-            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
-        }
-    }
-    fn finish(self) -> u64 {
-        self.0
-    }
-}
-
-/// Hashes every probe event, in order, via its `Debug` rendering (all
-/// event payloads derive `Debug`, and the rendering covers every field).
-struct EventDigest {
-    fnv: Fnv,
-    buf: String,
-    events: u64,
-}
-
-impl EventDigest {
-    fn new() -> Self {
-        EventDigest {
-            fnv: Fnv::new(),
-            buf: String::with_capacity(256),
-            events: 0,
-        }
-    }
-    fn absorb(&mut self, tag: &str, payload: std::fmt::Arguments<'_>) {
-        self.buf.clear();
-        let _ = write!(self.buf, "{tag}:{payload};");
-        self.fnv.update(self.buf.as_bytes());
-        self.events += 1;
-    }
-}
-
-impl Probe for EventDigest {
-    fn fetch(&mut self, e: FetchEvent) {
-        self.absorb("F", format_args!("{e:?}"));
-    }
-    fn rename(&mut self, e: StageEvent) {
-        self.absorb("R", format_args!("{e:?}"));
-    }
-    fn issue(&mut self, e: StageEvent) {
-        self.absorb("I", format_args!("{e:?}"));
-    }
-    fn writeback(&mut self, e: StageEvent) {
-        self.absorb("W", format_args!("{e:?}"));
-    }
-    fn commit(&mut self, e: StageEvent) {
-        self.absorb("C", format_args!("{e:?}"));
-    }
-    fn squash(&mut self, e: StageEvent) {
-        self.absorb("Q", format_args!("{e:?}"));
-    }
-    fn cache_access(&mut self, e: CacheEvent) {
-        self.absorb("M", format_args!("{e:?}"));
-    }
-    fn sync_event(&mut self, e: SyncEvent) {
-        self.absorb("S", format_args!("{e:?}"));
-    }
-    fn cycle_end(&mut self, cycle: u64, stats: Option<&CycleStats>) {
-        // Hash the end-of-cycle snapshot too: it covers SlotStats
-        // accumulation (hazard attribution) cycle by cycle.
-        self.absorb("E", format_args!("{cycle}:{stats:?}"));
-    }
-}
-
 #[test]
 fn per_architecture_digests_are_bit_for_bit_stable() {
     let app = by_name(APP).expect("paper app");
@@ -130,14 +54,14 @@ fn per_architecture_digests_are_bit_for_bit_stable() {
         let mut probe = EventDigest::new();
         let r = simulate_probed(&app, arch.chip(), 1, SCALE, SEED, mem(), &mut probe);
         let json = serde_json::to_string(&r).expect("RunResult serializes");
-        let mut rd = Fnv::new();
+        let mut rd = Fnv64::new();
         rd.update(json.as_bytes());
         let got = (
             arch.name(),
             r.cycles,
             r.slots.committed,
             rd.finish(),
-            probe.fnv.finish(),
+            probe.hash(),
         );
         if capture {
             println!(
@@ -151,7 +75,7 @@ fn per_architecture_digests_are_bit_for_bit_stable() {
             failures.push(format!(
                 "{}: got (cycles={}, committed={}, result=0x{:016x}, events=0x{:016x} [{} events]), \
                  want (cycles={}, committed={}, result=0x{:016x}, events=0x{:016x})",
-                got.0, got.1, got.2, got.3, got.4, probe.events, want.1, want.2, want.3, want.4
+                got.0, got.1, got.2, got.3, got.4, probe.events(), want.1, want.2, want.3, want.4
             ));
         }
     }
@@ -186,9 +110,9 @@ fn high_end_four_chip_digest_is_bit_for_bit_stable() {
         &mut probe,
     );
     let json = serde_json::to_string(&r).expect("RunResult serializes");
-    let mut rd = Fnv::new();
+    let mut rd = Fnv64::new();
     rd.update(json.as_bytes());
-    let got = (r.cycles, r.slots.committed, rd.finish(), probe.fnv.finish());
+    let got = (r.cycles, r.slots.committed, rd.finish(), probe.hash());
     if std::env::var_os("GOLDEN_PRINT").is_some() {
         println!(
             "    FA4x4: ({}, {}, 0x{:016x}, 0x{:016x})",
@@ -197,9 +121,10 @@ fn high_end_four_chip_digest_is_bit_for_bit_stable() {
         return;
     }
     assert_eq!(
-        got, EXPECTED_FA4_4CHIP,
+        got,
+        EXPECTED_FA4_4CHIP,
         "behavioral drift on the 4-chip high-end machine ({} events)",
-        probe.events
+        probe.events()
     );
 }
 
@@ -225,14 +150,14 @@ fn static_round_robin_reproduces_every_golden_digest() {
         let mut probe = EventDigest::new();
         let r = m.run_probed(2_000_000_000, &mut probe);
         let json = serde_json::to_string(&r).expect("RunResult serializes");
-        let mut rd = Fnv::new();
+        let mut rd = Fnv64::new();
         rd.update(json.as_bytes());
         let got = (
             arch.name(),
             r.cycles,
             r.slots.committed,
             rd.finish(),
-            probe.fnv.finish(),
+            probe.hash(),
         );
         assert_eq!(
             got, EXPECTED[i],
@@ -263,6 +188,6 @@ fn probed_and_unprobed_runs_agree() {
         assert_eq!(plain.cycles, probed.cycles, "{}", arch.name());
         assert_eq!(plain.slots, probed.slots, "{}", arch.name());
         assert_eq!(plain.mem, probed.mem, "{}", arch.name());
-        assert!(probe.events > 0);
+        assert!(probe.events() > 0);
     }
 }

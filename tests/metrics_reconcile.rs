@@ -18,9 +18,8 @@
 use csmt_core::ArchKind;
 use csmt_cpu::Hazard;
 use csmt_metrics::{validate_trace, MetricsProbe};
-use csmt_trace::{CacheEvent, CycleStats, FetchEvent, Probe, StageEvent, SyncEvent};
+use csmt_verify::EventDigest;
 use csmt_workloads::{by_name, simulate_probed};
-use std::fmt::Write as _;
 
 const SCALE: f64 = 0.2;
 const SEED: u64 = 0xC5_317;
@@ -36,61 +35,6 @@ const ARCHS: [ArchKind; 7] = [
     ArchKind::Smt2,
     ArchKind::Smt1,
 ];
-
-/// FNV-1a over the full probe event stream, identical to the golden
-/// determinism test's digest (same absorb format, so equal streams hash
-/// equal here iff they would there).
-struct EventDigest {
-    h: u64,
-    buf: String,
-}
-
-impl EventDigest {
-    fn new() -> Self {
-        EventDigest {
-            h: 0xcbf2_9ce4_8422_2325,
-            buf: String::with_capacity(256),
-        }
-    }
-    fn absorb(&mut self, tag: &str, payload: std::fmt::Arguments<'_>) {
-        self.buf.clear();
-        let _ = write!(self.buf, "{tag}:{payload};");
-        for &b in self.buf.as_bytes() {
-            self.h ^= u64::from(b);
-            self.h = self.h.wrapping_mul(0x100_0000_01b3);
-        }
-    }
-}
-
-impl Probe for EventDigest {
-    fn fetch(&mut self, e: FetchEvent) {
-        self.absorb("F", format_args!("{e:?}"));
-    }
-    fn rename(&mut self, e: StageEvent) {
-        self.absorb("R", format_args!("{e:?}"));
-    }
-    fn issue(&mut self, e: StageEvent) {
-        self.absorb("I", format_args!("{e:?}"));
-    }
-    fn writeback(&mut self, e: StageEvent) {
-        self.absorb("W", format_args!("{e:?}"));
-    }
-    fn commit(&mut self, e: StageEvent) {
-        self.absorb("C", format_args!("{e:?}"));
-    }
-    fn squash(&mut self, e: StageEvent) {
-        self.absorb("Q", format_args!("{e:?}"));
-    }
-    fn cache_access(&mut self, e: CacheEvent) {
-        self.absorb("M", format_args!("{e:?}"));
-    }
-    fn sync_event(&mut self, e: SyncEvent) {
-        self.absorb("S", format_args!("{e:?}"));
-    }
-    fn cycle_end(&mut self, cycle: u64, stats: Option<&CycleStats>) {
-        self.absorb("E", format_args!("{cycle}:{stats:?}"));
-    }
-}
 
 /// One pass over every Table 2 architecture proving guarantees 1 and 2
 /// together: the digest next to a `MetricsProbe` equals the digest
@@ -125,8 +69,8 @@ fn metrics_probe_is_digest_neutral_and_reconciles_exactly() {
             &mut paired,
         );
         assert_eq!(
-            solo.h,
-            paired.0.h,
+            solo.hash(),
+            paired.0.hash(),
             "{}: metrics probe perturbed the event stream",
             arch.name()
         );

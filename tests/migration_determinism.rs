@@ -16,83 +16,12 @@
 use csmt_core::sched::by_name;
 use csmt_core::{ArchKind, Machine};
 use csmt_mem::MemConfig;
-use csmt_trace::{
-    CacheEvent, CycleStats, FetchEvent, MigrationEvent, Probe, StageEvent, SyncEvent,
-};
+use csmt_verify::SchedEventDigest;
 use csmt_workloads::{build_streams, by_name as app_by_name, AppParams};
 use proptest::prelude::*;
-use std::fmt::Write as _;
 
 const SCALE: f64 = 0.05;
 const MAX_CYCLES: u64 = 2_000_000_000;
-
-/// FNV-1a over the `Debug` rendering of every probe event, in order — the
-/// digest construction of `tests/golden_determinism.rs` plus the
-/// scheduler's migration channel (`WANTS_SCHED_EVENTS`), so a
-/// non-deterministic placement decision changes the hash even if the
-/// pipeline events happen to agree.
-struct SchedEventDigest {
-    hash: u64,
-    buf: String,
-    events: u64,
-    migrations: u64,
-}
-
-impl SchedEventDigest {
-    fn new() -> Self {
-        SchedEventDigest {
-            hash: 0xcbf2_9ce4_8422_2325,
-            buf: String::with_capacity(256),
-            events: 0,
-            migrations: 0,
-        }
-    }
-    fn absorb(&mut self, tag: &str, payload: std::fmt::Arguments<'_>) {
-        self.buf.clear();
-        let _ = write!(self.buf, "{tag}:{payload};");
-        for &b in self.buf.as_bytes() {
-            self.hash ^= b as u64;
-            self.hash = self.hash.wrapping_mul(0x100_0000_01b3);
-        }
-        self.events += 1;
-    }
-}
-
-impl Probe for SchedEventDigest {
-    const WANTS_SCHED_EVENTS: bool = true;
-
-    fn fetch(&mut self, e: FetchEvent) {
-        self.absorb("F", format_args!("{e:?}"));
-    }
-    fn rename(&mut self, e: StageEvent) {
-        self.absorb("R", format_args!("{e:?}"));
-    }
-    fn issue(&mut self, e: StageEvent) {
-        self.absorb("I", format_args!("{e:?}"));
-    }
-    fn writeback(&mut self, e: StageEvent) {
-        self.absorb("W", format_args!("{e:?}"));
-    }
-    fn commit(&mut self, e: StageEvent) {
-        self.absorb("C", format_args!("{e:?}"));
-    }
-    fn squash(&mut self, e: StageEvent) {
-        self.absorb("Q", format_args!("{e:?}"));
-    }
-    fn cache_access(&mut self, e: CacheEvent) {
-        self.absorb("M", format_args!("{e:?}"));
-    }
-    fn sync_event(&mut self, e: SyncEvent) {
-        self.absorb("S", format_args!("{e:?}"));
-    }
-    fn migration(&mut self, e: MigrationEvent) {
-        self.migrations += 1;
-        self.absorb("G", format_args!("{e:?}"));
-    }
-    fn cycle_end(&mut self, cycle: u64, stats: Option<&CycleStats>) {
-        self.absorb("E", format_args!("{cycle}:{stats:?}"));
-    }
-}
 
 /// One run of `app` on single-chip `arch` under `policy`; returns
 /// (serialized RunResult, cycles, event digest, event count, migrations).
@@ -114,7 +43,7 @@ fn run_once(
     let mut probe = SchedEventDigest::new();
     let r = m.run_probed(MAX_CYCLES, &mut probe);
     let json = serde_json::to_string(&r).expect("RunResult serializes");
-    (json, r.cycles, probe.hash, probe.events, r.migrations)
+    (json, r.cycles, probe.hash(), probe.events(), r.migrations)
 }
 
 /// The dynamic-capable architectures: >1 hardware context per cluster.
