@@ -173,6 +173,7 @@ fn main() {
     if !csmt_core::Machine::fastforward_env_enabled() {
         println!("fast-forward disabled (CSMT_FASTFORWARD=0): stepping every cycle");
     }
+    println!("{}", csmt_core::par_step::describe_env());
 
     let mut registry = StatsRegistry::new();
     registry.record("app", app.name);

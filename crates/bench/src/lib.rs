@@ -51,6 +51,16 @@ pub const ENV_KNOBS: &[(&str, &str, &str)] = &[
         "disable the event-driven stall fast-forward (results are identical either way)",
     ),
     (
+        "CSMT_PARALLEL=0|1",
+        "all simulators",
+        "force the two-phase parallel cluster step off/on (default: on iff the host has >1 CPU; results are identical either way)",
+    ),
+    (
+        "CSMT_THREADS=<n>",
+        "all simulators",
+        "worker-thread count for the parallel cluster phase (default: host parallelism, clamped to the machine's cluster count)",
+    ),
+    (
         "CSMT_SCHED=<policy>",
         "all simulators",
         "thread-to-cluster allocation policy: static (default), barrier, hazard_pairing; dynamic policies fall back to static on fixed-assignment archs; an unknown name exits 2 with the valid names",

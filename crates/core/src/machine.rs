@@ -15,14 +15,17 @@
 //! is parked, in-flight work retires or is squashed, then the thread
 //! spends [`MIGRATION_COST`] cycles in transit before resuming).
 
+use std::collections::BTreeMap;
+
 use crate::configs::ChipConfig;
+use crate::par_step::{ClusterCell, ParEngine};
 use crate::result::RunResult;
 use crate::runtime::{Action, Runtime, ThreadId};
 use crate::sched::{
     Migration, SchedConfigError, SchedSnapshot, StaticRoundRobin, ThreadObs, ThreadScheduler,
     Topology, MIGRATION_COST,
 };
-use csmt_cpu::{Cluster, ClusterEvent, DetachedThread, ThreadState};
+use csmt_cpu::{Cluster, ClusterEvent, DetachedThread, ThreadState, Wants};
 use csmt_isa::InstStream;
 use csmt_mem::{MemConfig, MemorySystem};
 use csmt_trace::{
@@ -56,12 +59,6 @@ pub fn round_robin_placement(tid: ThreadId, clusters: usize, threads_per_chip: u
     }
 }
 
-/// One chip: its clusters. The chip's L1/L2 live in the shared
-/// [`MemorySystem`] under the chip's node index.
-struct Chip {
-    clusters: Vec<Cluster>,
-}
-
 /// A thread between contexts: detached from its source, not yet attached at
 /// its destination.
 struct Transit {
@@ -82,7 +79,14 @@ struct Transit {
 /// A complete machine ready to run a multithreaded application.
 pub struct Machine {
     cfg: ChipConfig,
-    chips: Vec<Chip>,
+    /// All clusters of all chips, flat in chip-major order: the cluster
+    /// at `(chip, k)` is index `chip * cfg.clusters + k`. Flat order is
+    /// both the historical serial iteration order and the parallel
+    /// step's commit order. A chip itself has no other state — its
+    /// L1/L2 live in the shared [`MemorySystem`] under its node index.
+    clusters: Vec<ClusterCell>,
+    /// Number of chips (= memory-system nodes).
+    n_chips: usize,
     mem: MemorySystem,
     runtime: Runtime,
     placements: Vec<Placement>,
@@ -106,8 +110,13 @@ pub struct Machine {
     /// Cached `sched.is_dynamic()`: when false, the run loop skips all
     /// epoch/migration machinery and stays on the golden-digest path.
     sched_dynamic: bool,
-    /// Threads currently between contexts.
+    /// Threads currently between contexts, in departure order (the order
+    /// determines arrival processing, so it is determinism-load-bearing).
     in_transit: Vec<Transit>,
+    /// Index into `in_transit` by thread id: the hot event-processing
+    /// path asks "is this thread in transit?" per resume action, which
+    /// was a linear scan. Maintained by `transit_push`/`transit_remove`.
+    in_transit_idx: BTreeMap<ThreadId, usize>,
     /// Per thread: destination and hold-cycle while its context drains
     /// toward a migration (`None` when not draining).
     migrate_dest: Vec<Option<(Placement, u64)>>,
@@ -124,6 +133,18 @@ pub struct Machine {
     migrations: u64,
     /// Σ cycles from hold to destination resume, over completed migrations.
     migration_wait: u64,
+    /// The two-phase parallel stepping engine (see [`crate::par_step`]).
+    par: ParEngine,
+    /// Σ useful-issue slots over all stepped cluster-cycles, folded from
+    /// each cycle's [`csmt_cpu::CycleActivity`] delta. Exact integers, so
+    /// `agg_useful as f64` is bit-identical to the historical per-cycle
+    /// full-`SlotStats` merge (which summed per-cluster `f64` totals that
+    /// are themselves exact integers below 2⁵³).
+    agg_useful: u64,
+    /// Σ committed instructions, same delta fold as `agg_useful`.
+    agg_committed: u64,
+    /// Scratch: per-node MSHR demand bound for the parallel pre-check.
+    mshr_demand_buf: Vec<usize>,
 }
 
 impl Machine {
@@ -132,20 +153,23 @@ impl Machine {
     pub fn new(cfg: ChipConfig, n_chips: usize, mem_cfg: MemConfig, seed: u64) -> Self {
         assert!(n_chips >= 1);
         let mut rng = csmt_isa::SplitMix64::new(seed);
-        let chips = (0..n_chips)
-            .map(|c| Chip {
-                clusters: (0..cfg.clusters)
-                    .map(|k| Cluster::new(cfg.cluster, rng.fork((c * 64 + k) as u64).next_u64()))
-                    .collect(),
-            })
-            .collect();
+        let mut clusters = Vec::with_capacity(n_chips * cfg.clusters);
+        for c in 0..n_chips {
+            for k in 0..cfg.clusters {
+                clusters.push(ClusterCell::new(Cluster::new(
+                    cfg.cluster,
+                    rng.fork((c * 64 + k) as u64).next_u64(),
+                )));
+            }
+        }
         let max_cluster_events = cfg.cluster.hw_threads;
         let n_clusters = n_chips * cfg.clusters;
         let sched = Self::sched_from_env(&cfg);
         let sched_dynamic = sched.is_dynamic();
         Machine {
             cfg,
-            chips,
+            clusters,
+            n_chips,
             mem: MemorySystem::new(mem_cfg, n_chips, rng.fork(u64::MAX).next_u64()),
             runtime: Runtime::new(0),
             placements: Vec::new(),
@@ -159,6 +183,7 @@ impl Machine {
             sched,
             sched_dynamic,
             in_transit: Vec::new(),
+            in_transit_idx: BTreeMap::new(),
             migrate_dest: Vec::new(),
             last_epoch: 0,
             prev_barrier_episodes: 0,
@@ -166,7 +191,16 @@ impl Machine {
             attach_emitted: false,
             migrations: 0,
             migration_wait: 0,
+            par: ParEngine::from_env(n_clusters),
+            agg_useful: 0,
+            agg_committed: 0,
+            mshr_demand_buf: Vec::with_capacity(n_chips),
         }
+    }
+
+    /// The cluster cell at `(chip, cluster-in-chip)`.
+    fn cluster_cell(&self, chip: usize, cluster: usize) -> &ClusterCell {
+        &self.clusters[chip * self.cfg.clusters + cluster]
     }
 
     /// Scheduling policy selected by the `CSMT_SCHED` environment variable
@@ -231,7 +265,7 @@ impl Machine {
     /// Machine shape, as scheduler policies see it.
     pub fn topology(&self) -> Topology {
         Topology {
-            chips: self.chips.len(),
+            chips: self.n_chips,
             clusters_per_chip: self.cfg.clusters,
             ctx_per_cluster: self.cfg.cluster.hw_threads,
         }
@@ -255,11 +289,36 @@ impl Machine {
         self.fastforward
     }
 
+    /// Enable or disable the two-phase parallel step (overrides the
+    /// `CSMT_PARALLEL` environment default). Results are bit-for-bit
+    /// identical either way; this exists for differential testing and
+    /// for timing the serial baseline.
+    pub fn set_parallel(&mut self, on: bool) {
+        self.par.set_enabled(on);
+    }
+
+    /// Whether the two-phase parallel step is currently enabled.
+    pub fn parallel(&self) -> bool {
+        self.par.enabled()
+    }
+
+    /// Set the parallel cluster phase's worker-thread count (overrides
+    /// the `CSMT_THREADS` environment default; clamped to the cluster
+    /// count).
+    pub fn set_parallel_threads(&mut self, n: usize) {
+        self.par.set_threads(n);
+    }
+
+    /// Worker-thread count the parallel cluster phase will use.
+    pub fn parallel_threads(&self) -> usize {
+        self.par.threads()
+    }
+
     /// Total hardware thread contexts in the machine — the thread count the
     /// paper creates for each configuration ("we generate as many threads as
     /// are required by the processor", §4).
     pub fn hw_thread_capacity(&self) -> usize {
-        self.chips.len() * self.cfg.threads_per_chip()
+        self.n_chips * self.cfg.threads_per_chip()
     }
 
     /// Current placement of software thread `tid`. Reads the stored
@@ -309,12 +368,14 @@ impl Machine {
         for (tid, (s, _)) in streams.into_iter().enumerate() {
             let p = placements[tid];
             assert!(
-                p.chip < self.chips.len()
+                p.chip < self.n_chips
                     && p.cluster < self.cfg.clusters
                     && p.ctx < self.cfg.cluster.hw_threads,
                 "initial placement {p:?} out of range"
             );
-            self.chips[p.chip].clusters[p.cluster].attach_thread(p.ctx, s);
+            self.cluster_cell(p.chip, p.cluster)
+                .get()
+                .attach_thread(p.ctx, s);
             self.placements.push(p);
             let slot = self.slot(p);
             assert!(self.rev_map[slot].is_none(), "placement collision at {p:?}");
@@ -336,81 +397,157 @@ impl Machine {
     /// index (`chip * clusters_per_chip + cluster`). All probe work is
     /// gated on `P`'s wants-flags, so `step_probed::<NullProbe>`
     /// monomorphizes to exactly `step`.
+    ///
+    /// When the parallel engine is enabled and the cycle passes the
+    /// safety pre-check, the cycle runs as a two-phase parallel step
+    /// ([`step_parallel`](Machine::step_parallel)); otherwise it runs
+    /// the historical serial step. Both produce bit-for-bit identical
+    /// machine state and probe-event streams.
     pub fn step_probed<P: Probe>(&mut self, probe: &mut P) {
+        if self.par.enabled() && self.step_parallel(probe) {
+            return;
+        }
+        self.step_serial(probe);
+    }
+
+    /// The historical serial cycle: step each cluster in flat order
+    /// against the live memory system, processing its runtime events
+    /// before moving to the next cluster.
+    fn step_serial<P: Probe>(&mut self, probe: &mut P) {
         let now = self.cycle;
-        for chip_idx in 0..self.chips.len() {
-            for cluster_idx in 0..self.chips[chip_idx].clusters.len() {
-                let cluster_id = (chip_idx * self.cfg.clusters + cluster_idx) as u32;
-                self.events_buf.clear();
-                self.chips[chip_idx].clusters[cluster_idx].step_probed(
-                    now,
-                    &mut self.mem,
-                    chip_idx,
-                    &mut self.events_buf,
-                    probe,
-                    cluster_id,
-                );
-                for k in 0..self.events_buf.len() {
-                    let ev = self.events_buf[k];
-                    let (ctx, is_done, op) = match ev {
-                        ClusterEvent::SyncReached { thread, op } => (thread, false, Some(op)),
-                        ClusterEvent::ThreadDone { thread } => (thread, true, None),
-                        ClusterEvent::MigrationDrained { thread } => {
-                            self.detach_drained(chip_idx, cluster_idx, thread, now, probe);
-                            continue;
-                        }
+        for i in 0..self.clusters.len() {
+            let chip_idx = i / self.cfg.clusters;
+            let cluster_idx = i % self.cfg.clusters;
+            self.events_buf.clear();
+            let activity = self.clusters[i].get().step_probed(
+                now,
+                &mut self.mem,
+                chip_idx,
+                &mut self.events_buf,
+                probe,
+                i as u32,
+            );
+            self.agg_useful += u64::from(activity.useful);
+            self.agg_committed += u64::from(activity.committed);
+            for k in 0..self.events_buf.len() {
+                let ev = self.events_buf[k];
+                let (ctx, is_done, op) = match ev {
+                    ClusterEvent::SyncReached { thread, op } => (thread, false, Some(op)),
+                    ClusterEvent::ThreadDone { thread } => (thread, true, None),
+                    ClusterEvent::MigrationDrained { thread } => {
+                        self.detach_drained(chip_idx, cluster_idx, thread, now, probe);
+                        continue;
+                    }
+                };
+                let tid = self
+                    .tid_at(chip_idx, cluster_idx, ctx)
+                    .expect("event from unattached context");
+                self.actions_buf.clear();
+                if is_done {
+                    self.runtime.thread_done(tid, &mut self.actions_buf);
+                } else {
+                    self.runtime
+                        .sync_reached(tid, op.expect("sync"), &mut self.actions_buf);
+                }
+                if P::WANTS_INST_EVENTS {
+                    let kind = match op {
+                        Some(op) => SyncEventKind::Reached(op),
+                        None => SyncEventKind::Done,
                     };
-                    let tid = self
-                        .tid_at(chip_idx, cluster_idx, ctx)
-                        .expect("event from unattached context");
-                    self.actions_buf.clear();
-                    if is_done {
-                        self.runtime.thread_done(tid, &mut self.actions_buf);
+                    probe.sync_event(SyncEvent {
+                        cycle: now,
+                        thread: tid as u32,
+                        kind,
+                    });
+                }
+                for a in 0..self.actions_buf.len() {
+                    let Action::Resume(t) = self.actions_buf[a];
+                    if let Some(&ti) = self.in_transit_idx.get(&t) {
+                        // Released while between contexts: arrive
+                        // runnable instead of parked.
+                        let tr = &mut self.in_transit[ti];
+                        if tr.resume_as == ThreadState::WaitingSync {
+                            tr.resume_as = ThreadState::Running;
+                        }
                     } else {
-                        self.runtime
-                            .sync_reached(tid, op.expect("sync"), &mut self.actions_buf);
+                        let p = self.placements[t];
+                        self.cluster_cell(p.chip, p.cluster)
+                            .get()
+                            .resume_thread(p.ctx);
                     }
                     if P::WANTS_INST_EVENTS {
-                        let kind = match op {
-                            Some(op) => SyncEventKind::Reached(op),
-                            None => SyncEventKind::Done,
-                        };
                         probe.sync_event(SyncEvent {
                             cycle: now,
-                            thread: tid as u32,
-                            kind,
+                            thread: t as u32,
+                            kind: SyncEventKind::Resumed,
                         });
-                    }
-                    for a in 0..self.actions_buf.len() {
-                        let Action::Resume(t) = self.actions_buf[a];
-                        if let Some(tr) = self.in_transit.iter_mut().find(|tr| tr.tid == t) {
-                            // Released while between contexts: arrive
-                            // runnable instead of parked.
-                            if tr.resume_as == ThreadState::WaitingSync {
-                                tr.resume_as = ThreadState::Running;
-                            }
-                        } else {
-                            let p = self.placements[t];
-                            self.chips[p.chip].clusters[p.cluster].resume_thread(p.ctx);
-                        }
-                        if P::WANTS_INST_EVENTS {
-                            probe.sync_event(SyncEvent {
-                                cycle: now,
-                                thread: t as u32,
-                                kind: SyncEventKind::Resumed,
-                            });
-                        }
                     }
                 }
             }
         }
         let running: usize = self
-            .chips
+            .clusters
             .iter()
-            .flat_map(|c| c.clusters.iter())
-            .map(csmt_cpu::Cluster::running_threads)
+            .map(|c| c.get().running_threads())
             .sum();
         self.finish_cycle(now, running, probe);
+    }
+
+    /// Attempt a two-phase parallel cycle. Returns `false` (machine
+    /// state untouched) when the cycle fails the safety pre-check and
+    /// must run serially:
+    ///
+    /// * **Events** — some context is `Draining`/`Migrating`, so commit
+    ///   could emit a runtime event this cycle, and event handling is
+    ///   interleaved per cluster in the serial order.
+    /// * **MSHR headroom** — some node's free MSHRs are below the sum of
+    ///   its clusters' demand bounds, so the serial outstanding-loads
+    ///   gate could close mid-cycle, which tape recording cannot see.
+    ///   (With demand ≤ free, every serial gate check would have seen at
+    ///   least one free MSHR, so the tape's unconditional pass is
+    ///   identical.)
+    ///
+    /// On an eligible cycle, the running-thread count is frozen at the
+    /// pre-check: the states counted by `running_threads` (`Running`,
+    /// `WrongPath`, `Draining`, `Migrating`) only lose members through
+    /// commit's event detection — excluded above — and only gain members
+    /// through resume/attach, which happen outside the step.
+    fn step_parallel<P: Probe>(&mut self, probe: &mut P) -> bool {
+        let now = self.cycle;
+        self.mshr_demand_buf.clear();
+        self.mshr_demand_buf.resize(self.n_chips, 0);
+        let mut running = 0usize;
+        for (i, cell) in self.clusters.iter().enumerate() {
+            let cl = cell.get();
+            if cl.may_emit_events() {
+                return false;
+            }
+            self.mshr_demand_buf[i / self.cfg.clusters] += cl.mshr_demand_bound(now);
+            running += cl.running_threads();
+        }
+        for node in 0..self.n_chips {
+            if self.mem.free_mshrs(node, now) < self.mshr_demand_buf[node] {
+                return false;
+            }
+        }
+        // Phase 1: every cluster records its cycle onto its tape, in
+        // parallel — no shared mutable state.
+        self.par
+            .cluster_phase(&self.clusters, now, Wants::of::<P>());
+        // Phase 2: serial commit in flat (chip, cluster) order — memory
+        // accesses and probe events land exactly as the serial step's.
+        for i in 0..self.clusters.len() {
+            let activity = self.clusters[i].get().replay_tape(
+                now,
+                &mut self.mem,
+                i / self.cfg.clusters,
+                probe,
+            );
+            self.agg_useful += u64::from(activity.useful);
+            self.agg_committed += u64::from(activity.committed);
+        }
+        self.finish_cycle(now, running, probe);
+        true
     }
 
     /// The per-cycle epilogue shared by [`step_probed`](Machine::step_probed)
@@ -420,30 +557,20 @@ impl Machine {
         self.running_thread_cycles += running as u64;
         self.cycle += 1;
         if P::WANTS_CYCLE_STATS {
-            // Host self-profiling: the snapshot costs a pass over every
-            // cluster's stats, which the profiler reports as its own
+            // Host self-profiling: the snapshot costs a wasted-slot fold
+            // over every cluster, which the profiler reports as its own
             // `cycle_end` row (non-zero only when a stats-wanting probe
-            // is composed in).
+            // is composed in). Everything else in the snapshot comes
+            // from O(1) machine-level running aggregates.
             let phase_t = P::WANTS_HOST_PHASES.then(std::time::Instant::now);
-            let mut slots = csmt_cpu::SlotStats::default();
-            for c in &self.chips {
-                for cl in &c.clusters {
-                    slots.merge(cl.stats());
+            let mut wasted = [0.0f64; 7];
+            for cell in &self.clusters {
+                let cl = cell.get();
+                for (w, c) in wasted.iter_mut().zip(&cl.stats().wasted) {
+                    *w += c;
                 }
             }
-            let mem = self.mem.stats();
-            let stats = CycleStats {
-                useful: slots.useful,
-                wasted: slots.wasted,
-                slots: slots.slots,
-                cycles: slots.cycles,
-                committed: slots.committed,
-                running_threads: running as u32,
-                accesses: mem.accesses,
-                l1_hits: mem.l1_hits,
-                l2_hits: mem.l2_hits,
-                tlb_misses: mem.tlb_misses,
-            };
+            let stats = self.build_cycle_stats(wasted, running);
             if let Some(t0) = phase_t {
                 probe.host_phase(
                     csmt_trace::HostPhase::CycleEnd,
@@ -456,6 +583,31 @@ impl Machine {
         }
     }
 
+    /// Assemble the end-of-cycle [`CycleStats`] snapshot from the folded
+    /// per-cluster wasted-slot totals plus machine-level aggregates.
+    ///
+    /// Bit-for-bit identical to the historical full-`SlotStats` merge:
+    /// `useful`/`committed` fold exact integer deltas (so `as f64`
+    /// reproduces the old `f64` sum of exact integers), the wasted fold
+    /// keeps the old cluster-major `f64` summation order, and
+    /// `slots`/`cycles` are closed-form — every cluster records every
+    /// machine cycle at the shared issue width, stepping or stalled.
+    fn build_cycle_stats(&self, wasted: [f64; 7], running: usize) -> CycleStats {
+        let (accesses, l1_hits, l2_hits, tlb_misses) = self.mem.cycle_counters();
+        CycleStats {
+            useful: self.agg_useful as f64,
+            wasted,
+            slots: (self.clusters.len() * self.cfg.cluster.issue_width) as u64 * self.cycle,
+            cycles: self.cycle,
+            committed: self.agg_committed,
+            running_threads: running as u32,
+            accesses,
+            l1_hits,
+            l2_hits,
+            tlb_misses,
+        }
+    }
+
     /// Earliest cycle ≥ the current one at which any cluster could do more
     /// than stalled-cycle accounting, folding in the memory system's next
     /// MSHR fill. Returns the current cycle when the machine is not in an
@@ -464,14 +616,12 @@ impl Machine {
     pub fn next_event_cycle(&self) -> u64 {
         let now = self.cycle;
         let mut next = u64::MAX;
-        for chip in &self.chips {
-            for cluster in &chip.clusters {
-                let t = cluster.next_event_cycle(now);
-                if t <= now {
-                    return now;
-                }
-                next = next.min(t);
+        for cell in &self.clusters {
+            let t = cell.get().next_event_cycle(now);
+            if t <= now {
+                return now;
             }
+            next = next.min(t);
         }
         next.min(self.mem.next_event_cycle(now))
     }
@@ -491,29 +641,66 @@ impl Machine {
     fn fast_forward_probed<P: Probe>(&mut self, target: u64, probe: &mut P) {
         self.stall_weights_buf.clear();
         let start = self.cycle;
-        for chip in &self.chips {
-            for cluster in &chip.clusters {
-                self.stall_weights_buf.push(cluster.stall_weights(start));
-            }
+        // Lock every cluster once for the whole span: a span covers many
+        // cycles, and per-cycle re-locking is the only thing the flat
+        // `ClusterCell` layout would otherwise add to this hot loop. The
+        // guards borrow only the `clusters` field, so the per-cycle
+        // epilogue below works on the machine's other fields directly
+        // (calling `finish_cycle` here would re-lock and deadlock).
+        let mut guards: Vec<_> = self.clusters.iter().map(ClusterCell::get).collect();
+        for g in &guards {
+            self.stall_weights_buf.push(g.stall_weights(start));
         }
-        let running: usize = self
-            .chips
-            .iter()
-            .flat_map(|c| c.clusters.iter())
-            .map(csmt_cpu::Cluster::running_threads)
-            .sum();
+        let running: usize = guards.iter().map(|g| g.running_threads()).sum();
         while self.cycle < target {
             let now = self.cycle;
-            for chip_idx in 0..self.chips.len() {
-                for cluster_idx in 0..self.chips[chip_idx].clusters.len() {
-                    let cluster_id = (chip_idx * self.cfg.clusters + cluster_idx) as u32;
-                    let weights = self.stall_weights_buf[cluster_id as usize];
-                    self.chips[chip_idx].clusters[cluster_idx]
-                        .stall_cycle_probed(now, &weights, probe, cluster_id);
-                }
+            for (i, g) in guards.iter_mut().enumerate() {
+                let weights = self.stall_weights_buf[i];
+                g.stall_cycle_probed(now, &weights, probe, i as u32);
             }
-            self.finish_cycle(now, running, probe);
+            // Inlined `finish_cycle`, reading cluster stats through the
+            // held guards.
+            self.running_thread_cycles += running as u64;
+            self.cycle += 1;
+            if P::WANTS_CYCLE_STATS {
+                let phase_t = P::WANTS_HOST_PHASES.then(std::time::Instant::now);
+                let mut wasted = [0.0f64; 7];
+                for g in &guards {
+                    for (w, c) in wasted.iter_mut().zip(&g.stats().wasted) {
+                        *w += c;
+                    }
+                }
+                let stats = self.build_cycle_stats(wasted, running);
+                if let Some(t0) = phase_t {
+                    probe.host_phase(
+                        csmt_trace::HostPhase::CycleEnd,
+                        t0.elapsed().as_nanos() as u64,
+                    );
+                }
+                probe.cycle_end(now, Some(&stats));
+            } else {
+                probe.cycle_end(now, None);
+            }
         }
+    }
+
+    /// Enter a transit record, keeping the by-tid index in sync.
+    fn transit_push(&mut self, tr: Transit) {
+        self.in_transit_idx.insert(tr.tid, self.in_transit.len());
+        self.in_transit.push(tr);
+    }
+
+    /// Remove the transit record at position `i` (preserving the
+    /// departure order of the rest), keeping the by-tid index in sync.
+    fn transit_remove(&mut self, i: usize) -> Transit {
+        let tr = self.in_transit.remove(i);
+        self.in_transit_idx.remove(&tr.tid);
+        for v in self.in_transit_idx.values_mut() {
+            if *v > i {
+                *v -= 1;
+            }
+        }
+        tr
     }
 
     /// A held context finished draining: detach its thread and put it in
@@ -534,7 +721,7 @@ impl Machine {
         let (to, held_at) = self.migrate_dest[tid]
             .take()
             .expect("drained context has no migration destination");
-        let detached = self.chips[chip].clusters[cluster].detach_thread(ctx);
+        let detached = self.cluster_cell(chip, cluster).get().detach_thread(ctx);
         self.depart(tid, to, held_at, ThreadState::Running, detached, now, probe);
     }
 
@@ -558,7 +745,7 @@ impl Machine {
             "reverse map out of sync at depart"
         );
         self.rev_map[slot] = None;
-        self.in_transit.push(Transit {
+        self.transit_push(Transit {
             tid,
             to,
             ready_at: now + MIGRATION_COST,
@@ -590,13 +777,11 @@ impl Machine {
                 i += 1;
                 continue;
             }
-            let tr = self.in_transit.remove(i);
+            let tr = self.transit_remove(i);
             let slot = self.slot(tr.to);
-            self.chips[tr.to.chip].clusters[tr.to.cluster].attach_migrated(
-                tr.to.ctx,
-                tr.detached,
-                tr.resume_as,
-            );
+            self.cluster_cell(tr.to.chip, tr.to.cluster)
+                .get()
+                .attach_migrated(tr.to.ctx, tr.detached, tr.resume_as);
             self.placements[tr.tid] = tr.to;
             self.rev_map[slot] = Some(tr.tid);
             self.migrations += 1;
@@ -653,16 +838,15 @@ impl Machine {
     fn snapshot(&self) -> SchedSnapshot {
         let topo = self.topology();
         let mut cluster_running = Vec::with_capacity(topo.n_clusters());
-        for chip in &self.chips {
-            for cl in &chip.clusters {
-                cluster_running.push(cl.running_threads());
-            }
+        for cell in &self.clusters {
+            cluster_running.push(cell.get().running_threads());
         }
         let threads = (0..self.placements.len())
             .map(|tid| {
                 let group = self.runtime.group_of(tid);
                 let done = self.runtime.is_done(tid);
-                if let Some(tr) = self.in_transit.iter().find(|t| t.tid == tid) {
+                if let Some(&ti) = self.in_transit_idx.get(&tid) {
+                    let tr = &self.in_transit[ti];
                     ThreadObs {
                         tid,
                         placement: None,
@@ -675,7 +859,7 @@ impl Machine {
                     }
                 } else {
                     let p = self.placements[tid];
-                    let cl = &self.chips[p.chip].clusters[p.cluster];
+                    let cl = self.cluster_cell(p.chip, p.cluster).get();
                     ThreadObs {
                         tid,
                         placement: Some(p),
@@ -720,21 +904,23 @@ impl Machine {
         for m in requested {
             if m.tid >= n
                 || in_batch[m.tid]
-                || m.to.chip >= self.chips.len()
+                || m.to.chip >= self.n_chips
                 || m.to.cluster >= self.cfg.clusters
                 || m.to.ctx >= self.cfg.cluster.hw_threads
             {
                 continue;
             }
-            if self.migrate_dest[m.tid].is_some() || self.in_transit.iter().any(|t| t.tid == m.tid)
-            {
+            if self.migrate_dest[m.tid].is_some() || self.in_transit_idx.contains_key(&m.tid) {
                 continue;
             }
             let from = self.placements[m.tid];
             if from == m.to {
                 continue;
             }
-            let state = self.chips[from.chip].clusters[from.cluster].thread_state(from.ctx);
+            let state = self
+                .cluster_cell(from.chip, from.cluster)
+                .get()
+                .thread_state(from.ctx);
             if !matches!(
                 state,
                 ThreadState::Running
@@ -768,12 +954,19 @@ impl Machine {
         }
         for m in accepted {
             let from = self.placements[m.tid];
-            let cl = &mut self.chips[from.chip].clusters[from.cluster];
-            let state = cl.thread_state(from.ctx);
-            if cl.hold_for_migration(from.ctx) {
-                // Already drained (parked states, or an empty window):
-                // detach immediately, preserving the parked state.
-                let detached = cl.detach_thread(from.ctx);
+            let (state, drained) = {
+                let mut cl = self.cluster_cell(from.chip, from.cluster).get();
+                let state = cl.thread_state(from.ctx);
+                if cl.hold_for_migration(from.ctx) {
+                    // Already drained (parked states, or an empty
+                    // window): detach immediately, preserving the
+                    // parked state.
+                    (state, Some(cl.detach_thread(from.ctx)))
+                } else {
+                    (state, None)
+                }
+            };
+            if let Some(detached) = drained {
                 let resume_as = match state {
                     ThreadState::WaitingSync => ThreadState::WaitingSync,
                     ThreadState::Done => ThreadState::Done,
@@ -809,10 +1002,7 @@ impl Machine {
     pub fn busy(&self) -> bool {
         !self.runtime.all_done()
             || !self.in_transit.is_empty()
-            || self
-                .chips
-                .iter()
-                .any(|c| c.clusters.iter().any(csmt_cpu::Cluster::busy))
+            || self.clusters.iter().any(|c| c.get().busy())
     }
 
     /// Run to completion (or `max_cycles`), returning the collected result.
@@ -875,24 +1065,20 @@ impl Machine {
     /// Snapshot the result so far (also valid mid-run).
     pub fn result(&self) -> RunResult {
         let mut slots = csmt_cpu::SlotStats::default();
-        for c in &self.chips {
-            for cl in &c.clusters {
-                slots.merge(cl.stats());
-            }
+        for cell in &self.clusters {
+            slots.merge(cell.get().stats());
         }
         let mut mispredicts = 0;
         let mut lookups = 0;
-        for c in &self.chips {
-            for cl in &c.clusters {
-                let (l, m) = cl.bpred_stats();
-                lookups += l;
-                mispredicts += m;
-            }
+        for cell in &self.clusters {
+            let (l, m) = cell.get().bpred_stats();
+            lookups += l;
+            mispredicts += m;
         }
         let (barriers, lock_acqs) = self.runtime.stats();
         RunResult {
             arch: self.cfg.kind.name().to_string(),
-            chips: self.chips.len(),
+            chips: self.n_chips,
             threads: self.placements.len(),
             cycles: self.cycle,
             slots,
@@ -918,11 +1104,13 @@ impl Machine {
 
     /// State of software thread `tid` (`Migrating` while between contexts).
     pub fn thread_state(&self, tid: ThreadId) -> ThreadState {
-        if self.in_transit.iter().any(|t| t.tid == tid) {
+        if self.in_transit_idx.contains_key(&tid) {
             return ThreadState::Migrating;
         }
         let p = self.placements[tid];
-        self.chips[p.chip].clusters[p.cluster].thread_state(p.ctx)
+        self.cluster_cell(p.chip, p.cluster)
+            .get()
+            .thread_state(p.ctx)
     }
 
     /// The shared memory system (for inspection in examples/tests).

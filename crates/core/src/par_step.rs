@@ -1,0 +1,280 @@
+//! The parallel cluster phase: a deterministic two-phase split of
+//! [`Machine::step_probed`](crate::Machine::step_probed).
+//!
+//! **Phase 1 (parallel)** — every cluster runs its pipeline cycle against
+//! a private intent tape ([`csmt_cpu::cluster::Cluster::step_tape`]):
+//! loads, stores and probe events are *recorded*, not performed. Clusters
+//! share no mutable state in this phase, so any assignment of clusters to
+//! worker threads produces the same tapes.
+//!
+//! **Phase 2 (serial commit)** — the coordinating thread drains each tape
+//! in fixed machine order (chip-major flat cluster index, i.e. exactly the
+//! iteration order of the historical serial step), applying the deferred
+//! memory accesses so directory/MSHR/LRU/TLB state evolves in precisely
+//! the serial order, and forwarding buffered probe events.
+//!
+//! Determinism therefore does not depend on thread count, scheduling or
+//! OS timing: the parallel phase computes pure per-cluster functions of
+//! the cycle-start state, and every globally-visible effect happens in
+//! phase 2 in a fixed order. The machine only routes a cycle through this
+//! engine when a pre-check proves the cycle cannot observe the deferral
+//! (no runtime events possible, enough MSHR headroom that no load gate
+//! could have closed mid-cycle); all other cycles take the serial path,
+//! which is bit-for-bit the historical implementation.
+//!
+//! This module is the workspace's **only** registered concurrency seam
+//! (see `csmt-audit.toml`): the mutex/condvar handshake and the worker
+//! threads live here and nowhere else in the simulator crates.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+use csmt_cpu::{Cluster, Wants};
+
+/// A cluster slot shareable with the worker pool.
+///
+/// The mutex is uncontended by construction — the coordinating thread
+/// only locks outside the parallel phase, and within it each cluster is
+/// stepped by exactly one worker — so every `lock()` takes the fast
+/// path. It exists to make sharing `&[ClusterCell]` with the pool sound
+/// without any `unsafe`.
+pub struct ClusterCell(Arc<Mutex<Cluster>>);
+
+impl ClusterCell {
+    /// Wrap a cluster for shared access.
+    pub fn new(cluster: Cluster) -> Self {
+        ClusterCell(Arc::new(Mutex::new(cluster)))
+    }
+
+    /// Lock and access the cluster. Panics if the lock is poisoned (a
+    /// worker panicked mid-cycle; the simulation state is gone either
+    /// way).
+    pub fn get(&self) -> std::sync::MutexGuard<'_, Cluster> {
+        self.0.lock().expect("cluster lock poisoned")
+    }
+}
+
+/// Shared command block for the worker handshake: the coordinator
+/// publishes an epoch (with the cycle and wants-mask to run), workers run
+/// their statically-assigned clusters and decrement `pending`.
+struct Cmd {
+    epoch: u64,
+    now: u64,
+    wants: Wants,
+    shutdown: bool,
+    pending: usize,
+}
+
+/// Shared state between the coordinator and the workers.
+struct Shared {
+    cmd: Mutex<Cmd>,
+    /// Signalled by the coordinator when a new epoch is published.
+    go: Condvar,
+    /// Signalled by workers when `pending` reaches zero.
+    done: Condvar,
+}
+
+/// A persistent worker pool stepping clusters through their tape phase.
+///
+/// Workers are statically assigned clusters by index (`i % nworkers`), so
+/// the partition — like everything else here — is independent of timing.
+struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// The slice of cluster cells a pool run operates on, smuggled to the
+/// workers as a raw pointer + length pair behind the epoch handshake.
+///
+/// Instead of raw pointers (the workspace denies `unsafe`), each run
+/// clones the cells' `Arc`s into a per-worker vector once at pool
+/// construction; the machine's cluster set is fixed for its lifetime, so
+/// this is a one-time cost.
+struct WorkerSlice {
+    cells: Vec<Arc<Mutex<Cluster>>>,
+    /// Flat machine index of each cell in `cells` (its `cluster_id`).
+    ids: Vec<u32>,
+}
+
+impl Pool {
+    /// Spawn `nworkers` workers over a static partition of `cells`.
+    fn spawn(cells: &[ClusterCell], nworkers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            cmd: Mutex::new(Cmd {
+                epoch: 0,
+                now: 0,
+                wants: Wants::default(),
+                shutdown: false,
+                pending: 0,
+            }),
+            go: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let workers = (0..nworkers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                let mut slice = WorkerSlice {
+                    cells: Vec::new(),
+                    ids: Vec::new(),
+                };
+                for (i, cell) in cells.iter().enumerate() {
+                    if i % nworkers == w {
+                        slice.cells.push(Arc::clone(&cell.0));
+                        slice.ids.push(i as u32);
+                    }
+                }
+                std::thread::spawn(move || Pool::worker(&shared, &slice))
+            })
+            .collect();
+        Pool { shared, workers }
+    }
+
+    /// Worker loop: wait for an epoch, step the assigned clusters'
+    /// tape phase, report completion.
+    fn worker(shared: &Shared, slice: &WorkerSlice) {
+        let mut seen = 0u64;
+        loop {
+            let (now, wants) = {
+                let mut cmd = shared.cmd.lock().expect("pool lock poisoned");
+                while cmd.epoch == seen && !cmd.shutdown {
+                    cmd = shared.go.wait(cmd).expect("pool lock poisoned");
+                }
+                if cmd.shutdown {
+                    return;
+                }
+                seen = cmd.epoch;
+                (cmd.now, cmd.wants)
+            };
+            for (cell, &id) in slice.cells.iter().zip(&slice.ids) {
+                cell.lock()
+                    .expect("cluster lock poisoned")
+                    .step_tape(now, id, wants);
+            }
+            let mut cmd = shared.cmd.lock().expect("pool lock poisoned");
+            cmd.pending -= 1;
+            if cmd.pending == 0 {
+                shared.done.notify_all();
+            }
+        }
+    }
+
+    /// Run one parallel cluster phase: publish the epoch and block until
+    /// every worker has stepped its clusters.
+    fn run(&self, now: u64, wants: Wants) {
+        let mut cmd = self.shared.cmd.lock().expect("pool lock poisoned");
+        cmd.epoch += 1;
+        cmd.now = now;
+        cmd.wants = wants;
+        cmd.pending = self.workers.len();
+        self.shared.go.notify_all();
+        while cmd.pending > 0 {
+            cmd = self.shared.done.wait(cmd).expect("pool lock poisoned");
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        if let Ok(mut cmd) = self.shared.cmd.lock() {
+            cmd.shutdown = true;
+            self.shared.go.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// The machine's parallel-stepping engine: configuration (enabled flag,
+/// worker count) plus the lazily-spawned worker pool.
+pub struct ParEngine {
+    enabled: bool,
+    threads: usize,
+    n_clusters: usize,
+    pool: Option<Pool>,
+}
+
+impl ParEngine {
+    /// Build an engine for a machine of `n_clusters` clusters, honouring
+    /// the `CSMT_PARALLEL` / `CSMT_THREADS` environment knobs:
+    ///
+    /// * `CSMT_PARALLEL` unset → auto: enabled iff the host has more than
+    ///   one CPU; `0` → off; any other value → on.
+    /// * `CSMT_THREADS` caps the worker count (default: available
+    ///   parallelism, itself capped at `n_clusters`; never below 1).
+    pub fn from_env(n_clusters: usize) -> Self {
+        let avail = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let enabled = match std::env::var_os("CSMT_PARALLEL") {
+            None => avail > 1,
+            Some(v) => v != "0",
+        };
+        let threads = std::env::var("CSMT_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(avail)
+            .clamp(1, n_clusters.max(1));
+        ParEngine {
+            enabled,
+            threads,
+            n_clusters,
+            pool: None,
+        }
+    }
+
+    /// Whether the two-phase parallel step is enabled.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Worker-thread count the cluster phase will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Enable or disable the parallel step (overrides `CSMT_PARALLEL`).
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Set the worker-thread count (overrides `CSMT_THREADS`). Clamped
+    /// to `[1, n_clusters]`; tears down a previously-spawned pool so the
+    /// next parallel cycle respawns at the new width.
+    pub fn set_threads(&mut self, n: usize) {
+        let n = n.clamp(1, self.n_clusters.max(1));
+        if n != self.threads {
+            self.threads = n;
+            self.pool = None;
+        }
+    }
+
+    /// Run the parallel cluster phase over `cells`: every cluster records
+    /// its cycle onto its tape. Inline (no handoff) when a single worker
+    /// — or a single cluster — makes the pool pure overhead; the tape
+    /// format and replay order are identical either way.
+    pub fn cluster_phase(&mut self, cells: &[ClusterCell], now: u64, wants: Wants) {
+        if self.threads <= 1 || cells.len() <= 1 {
+            for (i, cell) in cells.iter().enumerate() {
+                cell.get().step_tape(now, i as u32, wants);
+            }
+            return;
+        }
+        let pool = self
+            .pool
+            .get_or_insert_with(|| Pool::spawn(cells, self.threads.min(cells.len())));
+        pool.run(now, wants);
+    }
+}
+
+/// One-line description of the parallelism the environment selects —
+/// for the report binaries' banner, next to their fast-forward note.
+/// Each machine additionally clamps the worker count to its cluster
+/// count, so this renders the pre-clamp environment decision.
+pub fn describe_env() -> String {
+    let probe = ParEngine::from_env(usize::MAX);
+    if probe.enabled() {
+        let n = probe.threads();
+        let plural = if n == 1 { "" } else { "s" };
+        format!("parallel step: on ({n} worker thread{plural}, serial commit)")
+    } else {
+        "parallel step: off (serial cluster loop)".to_owned()
+    }
+}

@@ -4,29 +4,29 @@
 use crate::cluster::ClusterEvent;
 use crate::config::ClusterConfig;
 use csmt_isa::SyncOp;
-use csmt_mem::{AccessKind, MemorySystem};
 use csmt_trace::{Probe, StageEvent};
 
 use super::lsq::StoreBuffer;
 use super::regs::{EState, Regs, ThreadState};
 use super::rename::RenamePools;
+use super::sink::MemPort;
 use super::window::Window;
 
-/// Run the commit stage.
+/// Run the commit stage. Returns the number of instructions committed
+/// (the machine folds it into its running cycle-stats aggregate).
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn run<P: Probe>(
+pub(crate) fn run<S: MemPort + Probe>(
     cfg: &ClusterConfig,
     regs: &mut Regs,
     win: &mut Window,
     rename: &mut RenamePools,
     lsq: &mut StoreBuffer,
     now: u64,
-    mem: &mut MemorySystem,
-    node: usize,
     events: &mut Vec<ClusterEvent>,
-    probe: &mut P,
+    sink: &mut S,
     cluster_id: u32,
-) {
+) -> u32 {
+    let mut committed = 0u32;
     let mut budget = cfg.retire_width;
     let n_threads = regs.threads.len();
     // Round-robin start keeps retirement fair across contexts.
@@ -50,8 +50,10 @@ pub(crate) fn run<P: Probe>(
                 if lsq.is_full() {
                     break;
                 }
-                let out = mem.access_probed(node, addr, AccessKind::Write, now, probe);
-                lsq.push(out.complete_at);
+                match sink.store(addr, now) {
+                    Some(complete_at) => lsq.push(complete_at),
+                    None => lsq.note_pending(), // taped: replayed at commit phase
+                }
             }
             if let Some(d) = dest {
                 if regs.threads[tid].map[d.flat_index()] == Some(head) {
@@ -62,9 +64,10 @@ pub(crate) fn run<P: Probe>(
             win.release(head, rename);
             regs.threads[tid].committed += 1;
             regs.stats.committed += 1;
+            committed += 1;
             budget -= 1;
-            if P::WANTS_INST_EVENTS {
-                probe.commit(StageEvent {
+            if S::WANTS_INST_EVENTS {
+                sink.commit(StageEvent {
                     cycle: now,
                     cluster: cluster_id,
                     uid: seq,
@@ -94,4 +97,5 @@ pub(crate) fn run<P: Probe>(
             events.push(ClusterEvent::MigrationDrained { thread: tid });
         }
     }
+    committed
 }

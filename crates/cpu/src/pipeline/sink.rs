@@ -1,0 +1,335 @@
+//! Memory-access sinks: the seam between the cluster pipeline and the
+//! memory system that makes the parallel cluster phase possible.
+//!
+//! The pipeline body ([`crate::cluster::Cluster`]'s phase driver) is
+//! generic over one sink type `S: MemPort + Probe`:
+//!
+//! - [`SerialSink`] is the live configuration: every memory intent goes
+//!   straight to `&mut MemorySystem` and every probe event straight to
+//!   the caller's probe — byte-for-byte today's serial stepping.
+//! - [`TapeSink`] is the recording configuration for the parallel
+//!   cluster phase: memory intents ([`TapeOp::Load`]/[`TapeOp::Store`])
+//!   and probe events are appended to a per-cluster tape instead, and
+//!   the tape is replayed against the real memory system in fixed
+//!   (chip, cluster) order during the serial commit phase — so
+//!   directory, MSHR, LRU and TLB state evolve in exactly the serial
+//!   order no matter how many worker threads stepped the clusters.
+//!
+//! Determinism notes baked into the design:
+//!
+//! - A deferred load leaves its window entry at
+//!   `EState::Exec { done_at: u64::MAX }`; replay patches the real
+//!   completion cycle in via `Window::schedule_fill`. Nothing reads
+//!   `done_at` between issue and replay (hazard attribution matches on
+//!   the `Exec` variant only), and no squash can intervene (squashes
+//!   happen in the complete phase, which precedes issue).
+//! - A deferred store bumps the store buffer's `pending` count so the
+//!   full-buffer retirement stall is computed identically; replay
+//!   converts `pending` into a real drain entry. Exact because every
+//!   store's `complete_at` is at least `now + 1`, so a same-cycle
+//!   `drain_completed(now)` can never observe the difference.
+//! - Cache events are *not* taped: they are regenerated live at replay
+//!   by `access_probed`, which lands them in exactly the serial
+//!   positions (a load's cache event immediately precedes its issue
+//!   event; a store's immediately precedes its commit event).
+
+use crate::cluster::ClusterEvent;
+use crate::stats::CycleActivity;
+use csmt_mem::{AccessKind, MemorySystem};
+use csmt_trace::{
+    CacheEvent, CycleStats, FetchEvent, HostPhase, MigrationEvent, Probe, RenamePoolEvent,
+    StageEvent, SyncEvent, WindowOccEvent,
+};
+
+/// Runtime projection of a probe's cluster-side wants-flags, carried
+/// across the thread pool (whose workers are monomorphic) into
+/// [`Cluster::step_tape`](crate::cluster::Cluster::step_tape).
+///
+/// Only the channels a cluster can emit while stepping against a tape
+/// appear here; cache events regenerate at replay from the real probe's
+/// own flags, and cycle stats / host phases / sched events are
+/// machine-level channels.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Wants {
+    /// Per-instruction stage events (fetch/rename/issue/writeback/
+    /// commit/squash).
+    pub inst: bool,
+    /// Rename-pool snapshots.
+    pub pool: bool,
+    /// Window-occupancy snapshots.
+    pub occ: bool,
+}
+
+impl Wants {
+    /// The wants-mask of probe type `P`.
+    #[must_use]
+    pub fn of<P: Probe>() -> Self {
+        Wants {
+            inst: P::WANTS_INST_EVENTS,
+            pool: P::WANTS_POOL_STATS,
+            occ: P::WANTS_OCC_STATS,
+        }
+    }
+
+    /// Whether any cluster-side observation channel is live (selects the
+    /// observing [`TapeSink`] instantiation; the non-observing one
+    /// compiles every event push away, keeping `NullProbe` runs at
+    /// near-zero probe cost).
+    #[must_use]
+    pub fn any(self) -> bool {
+        self.inst || self.pool || self.occ
+    }
+}
+
+/// One recorded pipeline action: either a deferred memory intent or a
+/// buffered probe event, in exact emission order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum TapeOp {
+    /// Buffered fetch event.
+    Fetch(FetchEvent),
+    /// Buffered rename event.
+    Rename(StageEvent),
+    /// Buffered issue event.
+    Issue(StageEvent),
+    /// Buffered writeback event.
+    Writeback(StageEvent),
+    /// Buffered commit event.
+    Commit(StageEvent),
+    /// Buffered squash event.
+    Squash(StageEvent),
+    /// Buffered rename-pool snapshot.
+    Pools(RenamePoolEvent),
+    /// Buffered window-occupancy snapshot.
+    Occ(WindowOccEvent),
+    /// Deferred load: replay performs the access and patches the window
+    /// entry's completion via `Window::schedule_fill`.
+    Load {
+        slot: u32,
+        seq: u64,
+        addr: u64,
+        lat: u64,
+    },
+    /// Deferred committed-store write: replay performs the access and
+    /// converts the store buffer's pending count into a real drain.
+    Store { addr: u64 },
+}
+
+/// Per-cluster intent buffer filled by [`TapeSink`] during the parallel
+/// cluster phase and drained by `Cluster::replay_tape` during the serial
+/// commit phase.
+#[derive(Default)]
+pub(crate) struct IntentBuffer {
+    /// Recorded memory intents + probe events, in emission order.
+    pub ops: Vec<TapeOp>,
+    /// Runtime events the cluster emitted. Always empty on cycles the
+    /// machine deemed parallel-safe; `replay_tape` asserts this.
+    pub events: Vec<ClusterEvent>,
+    /// The cycle's activity deltas, stashed so the machine can fold them
+    /// after replay.
+    pub activity: CycleActivity,
+}
+
+/// How the pipeline touches the memory system. Implemented live by
+/// [`SerialSink`] and deferred by [`TapeSink`].
+pub(crate) trait MemPort {
+    /// Whether a non-forwarded load may issue right now (the
+    /// outstanding-loads / MSHR gate). The tape sink answers `true`
+    /// unconditionally: the machine only enters tape mode on cycles
+    /// where the pre-checked MSHR headroom proves the serial gate would
+    /// have passed for every load that can possibly issue.
+    fn can_issue_load(&mut self, now: u64) -> bool;
+    /// Perform (or defer) a load. `Some(done_at)` is the final
+    /// completion cycle (already folded with the FU latency `lat`);
+    /// `None` means the access was taped and the entry's completion
+    /// will be patched at replay.
+    fn load(&mut self, slot: u32, seq: u64, addr: u64, now: u64, lat: u64) -> Option<u64>;
+    /// Perform (or defer) a committed store's cache write.
+    /// `Some(complete_at)` is the drain-completion cycle; `None` means
+    /// the write was taped (the store buffer counts it as pending).
+    fn store(&mut self, addr: u64, now: u64) -> Option<u64>;
+}
+
+/// The live sink: direct memory access, direct probe delegation.
+pub(crate) struct SerialSink<'a, P: Probe> {
+    /// The memory system.
+    pub mem: &'a mut MemorySystem,
+    /// This cluster's chip.
+    pub node: usize,
+    /// The caller's probe.
+    pub inner: &'a mut P,
+}
+
+impl<P: Probe> MemPort for SerialSink<'_, P> {
+    fn can_issue_load(&mut self, now: u64) -> bool {
+        self.mem.free_mshrs(self.node, now) != 0
+    }
+
+    fn load(&mut self, _slot: u32, _seq: u64, addr: u64, now: u64, lat: u64) -> Option<u64> {
+        let out = self
+            .mem
+            .access_probed(self.node, addr, AccessKind::Read, now, self.inner);
+        Some(out.complete_at.max(now + lat))
+    }
+
+    fn store(&mut self, addr: u64, now: u64) -> Option<u64> {
+        Some(
+            self.mem
+                .access_probed(self.node, addr, AccessKind::Write, now, self.inner)
+                .complete_at,
+        )
+    }
+}
+
+impl<P: Probe> Probe for SerialSink<'_, P> {
+    const WANTS_INST_EVENTS: bool = P::WANTS_INST_EVENTS;
+    const WANTS_CACHE_EVENTS: bool = P::WANTS_CACHE_EVENTS;
+    const WANTS_CYCLE_STATS: bool = P::WANTS_CYCLE_STATS;
+    const WANTS_POOL_STATS: bool = P::WANTS_POOL_STATS;
+    const WANTS_OCC_STATS: bool = P::WANTS_OCC_STATS;
+    const WANTS_HOST_PHASES: bool = P::WANTS_HOST_PHASES;
+    const WANTS_SCHED_EVENTS: bool = P::WANTS_SCHED_EVENTS;
+
+    #[inline]
+    fn fetch(&mut self, e: FetchEvent) {
+        self.inner.fetch(e);
+    }
+    #[inline]
+    fn rename(&mut self, e: StageEvent) {
+        self.inner.rename(e);
+    }
+    #[inline]
+    fn issue(&mut self, e: StageEvent) {
+        self.inner.issue(e);
+    }
+    #[inline]
+    fn writeback(&mut self, e: StageEvent) {
+        self.inner.writeback(e);
+    }
+    #[inline]
+    fn commit(&mut self, e: StageEvent) {
+        self.inner.commit(e);
+    }
+    #[inline]
+    fn squash(&mut self, e: StageEvent) {
+        self.inner.squash(e);
+    }
+    #[inline]
+    fn cache_access(&mut self, e: CacheEvent) {
+        self.inner.cache_access(e);
+    }
+    #[inline]
+    fn sync_event(&mut self, e: SyncEvent) {
+        self.inner.sync_event(e);
+    }
+    #[inline]
+    fn rename_pools(&mut self, e: RenamePoolEvent) {
+        self.inner.rename_pools(e);
+    }
+    #[inline]
+    fn window_occ(&mut self, e: WindowOccEvent) {
+        self.inner.window_occ(e);
+    }
+    #[inline]
+    fn host_phase(&mut self, phase: HostPhase, nanos: u64) {
+        self.inner.host_phase(phase, nanos);
+    }
+    #[inline]
+    fn migration(&mut self, e: MigrationEvent) {
+        self.inner.migration(e);
+    }
+    #[inline]
+    fn cycle_end(&mut self, cycle: u64, stats: Option<&CycleStats>) {
+        self.inner.cycle_end(cycle, stats);
+    }
+}
+
+/// The recording sink for the parallel cluster phase. `OBS` selects the
+/// observing instantiation: `false` (the `NullProbe` / benchmark path)
+/// statically compiles every event push away; `true` filters at runtime
+/// by the real probe's [`Wants`] mask.
+pub(crate) struct TapeSink<'a, const OBS: bool> {
+    /// The tape being written.
+    pub ops: &'a mut Vec<TapeOp>,
+    /// The real probe's cluster-side wants-flags.
+    pub wants: Wants,
+}
+
+impl<const OBS: bool> MemPort for TapeSink<'_, OBS> {
+    fn can_issue_load(&mut self, _now: u64) -> bool {
+        true // headroom pre-checked by the machine before entering tape mode
+    }
+
+    fn load(&mut self, slot: u32, seq: u64, addr: u64, _now: u64, lat: u64) -> Option<u64> {
+        self.ops.push(TapeOp::Load {
+            slot,
+            seq,
+            addr,
+            lat,
+        });
+        None
+    }
+
+    fn store(&mut self, addr: u64, _now: u64) -> Option<u64> {
+        self.ops.push(TapeOp::Store { addr });
+        None
+    }
+}
+
+impl<const OBS: bool> Probe for TapeSink<'_, OBS> {
+    const WANTS_INST_EVENTS: bool = OBS;
+    const WANTS_CACHE_EVENTS: bool = false; // regenerated live at replay
+    const WANTS_CYCLE_STATS: bool = false; // machine-level channel
+    const WANTS_POOL_STATS: bool = OBS;
+    const WANTS_OCC_STATS: bool = OBS;
+    const WANTS_HOST_PHASES: bool = false; // wall-clock: meaningless off-thread
+    const WANTS_SCHED_EVENTS: bool = false; // machine-level channel
+
+    #[inline]
+    fn fetch(&mut self, e: FetchEvent) {
+        if self.wants.inst {
+            self.ops.push(TapeOp::Fetch(e));
+        }
+    }
+    #[inline]
+    fn rename(&mut self, e: StageEvent) {
+        if self.wants.inst {
+            self.ops.push(TapeOp::Rename(e));
+        }
+    }
+    #[inline]
+    fn issue(&mut self, e: StageEvent) {
+        if self.wants.inst {
+            self.ops.push(TapeOp::Issue(e));
+        }
+    }
+    #[inline]
+    fn writeback(&mut self, e: StageEvent) {
+        if self.wants.inst {
+            self.ops.push(TapeOp::Writeback(e));
+        }
+    }
+    #[inline]
+    fn commit(&mut self, e: StageEvent) {
+        if self.wants.inst {
+            self.ops.push(TapeOp::Commit(e));
+        }
+    }
+    #[inline]
+    fn squash(&mut self, e: StageEvent) {
+        if self.wants.inst {
+            self.ops.push(TapeOp::Squash(e));
+        }
+    }
+    #[inline]
+    fn rename_pools(&mut self, e: RenamePoolEvent) {
+        if self.wants.pool {
+            self.ops.push(TapeOp::Pools(e));
+        }
+    }
+    #[inline]
+    fn window_occ(&mut self, e: WindowOccEvent) {
+        if self.wants.occ {
+            self.ops.push(TapeOp::Occ(e));
+        }
+    }
+}

@@ -11,6 +11,24 @@
 
 use serde::Serialize;
 
+/// One cluster's activity deltas for a single cycle, returned by the
+/// stepping entry points so the machine can maintain its running
+/// cycle-stats aggregates without re-merging every cluster's full
+/// [`SlotStats`] each cycle.
+///
+/// Both counts are exact integers (bounded by the issue/retire width),
+/// so folding them into `u64` accumulators and converting to `f64` at
+/// emission reproduces the old full-merge values bit for bit: every
+/// intermediate value is far below 2^53, where `f64` addition of
+/// integers is exact.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleActivity {
+    /// Useful (correct-path) instructions issued this cycle.
+    pub useful: u32,
+    /// Instructions committed this cycle.
+    pub committed: u32,
+}
+
 /// Hazard categories of §4.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Hazard {

@@ -536,6 +536,22 @@ impl MemorySystem {
         total
     }
 
+    /// The four counters the per-cycle [`csmt_trace::CycleStats`] stream
+    /// reports: `(accesses, l1_hits, l2_hits, tlb_misses)`, summed over
+    /// nodes. A cheap subset of [`stats`](MemorySystem::stats) for the
+    /// hot end-of-cycle path — four integer adds per node instead of a
+    /// full [`MemStats`] merge.
+    pub fn cycle_counters(&self) -> (u64, u64, u64, u64) {
+        let (mut acc, mut l1, mut l2, mut tlb) = (0u64, 0u64, 0u64, 0u64);
+        for n in &self.nodes {
+            acc += n.stats.accesses;
+            l1 += n.stats.l1_hits;
+            l2 += n.stats.l2_hits;
+            tlb += n.stats.tlb_misses;
+        }
+        (acc, l1, l2, tlb)
+    }
+
     /// Directory-level counters: (transactions, remote-L2 transfers,
     /// invalidations sent).
     pub fn directory_stats(&self) -> (u64, u64, u64) {

@@ -18,6 +18,7 @@
 use csmt_core::ArchKind;
 use csmt_cpu::Hazard;
 use csmt_metrics::{validate_trace, MetricsProbe};
+use csmt_trace::{CycleStats, Probe};
 use csmt_verify::EventDigest;
 use csmt_workloads::{by_name, simulate_probed};
 
@@ -133,6 +134,74 @@ fn metrics_probe_is_digest_neutral_and_reconciles_exactly() {
         assert_eq!(lifetimes, r.slots.committed, "{}", arch.name());
         let per_thread: u64 = report.committed_by_thread.iter().map(|(_, n)| n).sum();
         assert_eq!(per_thread, r.slots.committed, "{}", arch.name());
+    }
+}
+
+/// Captures the last end-of-cycle [`CycleStats`] snapshot of a run.
+#[derive(Default)]
+struct LastSnapshot(Option<CycleStats>);
+
+impl Probe for LastSnapshot {
+    fn cycle_end(&mut self, _cycle: u64, stats: Option<&CycleStats>) {
+        self.0 = stats.copied();
+    }
+}
+
+/// The machine assembles each cycle's `CycleStats` from O(1) running
+/// aggregates (`useful`/`committed` integer deltas, closed-form
+/// `slots`/`cycles`) instead of re-merging every cluster's full
+/// `SlotStats`. This pins the equivalence: the *final* snapshot of a run
+/// must be bit-equal (`f64 ==`, no epsilon) to the `RunResult`'s
+/// merge-based accumulators, on every Table 2 architecture and on a
+/// multi-chip machine.
+#[test]
+fn cycle_stats_aggregates_match_the_slotstats_merge_exactly() {
+    let app = by_name(APP).expect("paper app");
+    for (arch, chips) in [
+        (ArchKind::Fa8, 1),
+        (ArchKind::Fa4, 1),
+        (ArchKind::Fa2, 1),
+        (ArchKind::Fa1, 1),
+        (ArchKind::Smt4, 1),
+        (ArchKind::Smt2, 1),
+        (ArchKind::Smt1, 1),
+        (ArchKind::Fa4, 4),
+        (ArchKind::Smt2, 4),
+    ] {
+        let mut probe = LastSnapshot::default();
+        let r = simulate_probed(
+            &app,
+            arch.chip(),
+            chips,
+            SCALE,
+            SEED,
+            csmt_mem::MemConfig::table3(),
+            &mut probe,
+        );
+        let last = probe.0.expect("run emitted at least one cycle");
+        let name = arch.name();
+        assert!(
+            last.useful == r.slots.useful,
+            "{name}×{chips}: useful {} != {}",
+            last.useful,
+            r.slots.useful
+        );
+        for h in Hazard::ALL {
+            assert!(
+                last.wasted[h.index()] == r.slots.wasted[h.index()],
+                "{name}×{chips}: wasted[{}] {} != {}",
+                h.label(),
+                last.wasted[h.index()],
+                r.slots.wasted[h.index()]
+            );
+        }
+        assert_eq!(last.slots, r.slots.slots, "{name}×{chips}");
+        assert_eq!(last.cycles, r.slots.cycles, "{name}×{chips}");
+        assert_eq!(last.committed, r.slots.committed, "{name}×{chips}");
+        assert_eq!(last.accesses, r.mem.accesses, "{name}×{chips}");
+        assert_eq!(last.l1_hits, r.mem.l1_hits, "{name}×{chips}");
+        assert_eq!(last.l2_hits, r.mem.l2_hits, "{name}×{chips}");
+        assert_eq!(last.tlb_misses, r.mem.tlb_misses, "{name}×{chips}");
     }
 }
 

@@ -1,0 +1,189 @@
+//! Differential proof that the two-phase parallel step is bit-for-bit
+//! invisible: for random (architecture × chips × application × seed)
+//! points, a machine run with the parallel cluster phase enabled — both
+//! inline (1 worker) and through the real worker pool (2 workers) — must
+//! produce the *identical* serialized `RunResult` (every statistic,
+//! including the `f64` hazard accumulations), the identical cycle count,
+//! and the identical full probe-event stream as the serial machine:
+//! every fetch/issue/commit event, every cache event (regenerated live
+//! during the serial commit phase), and every per-cycle `cycle_end`
+//! snapshot, whose `CycleStats` now come from the machine's O(1) running
+//! aggregates instead of a full per-cycle `SlotStats` merge.
+//!
+//! The matrix composes with the stall fast-forward (on/off) and with the
+//! dynamic scheduling policies, since those interleave serial-only
+//! cycles (drain/migration events force the serial fallback) with
+//! parallel-eligible ones — exercising the mode boundary both ways.
+
+use csmt_core::sched::by_name as sched_by_name;
+use csmt_core::{ArchKind, Machine};
+use csmt_mem::MemConfig;
+use csmt_verify::{EventDigest, SchedEventDigest};
+use csmt_workloads::{build_streams, by_name, AppParams};
+use proptest::prelude::*;
+
+const SCALE: f64 = 0.05;
+const MAX_CYCLES: u64 = 2_000_000_000;
+
+/// How to step the machine: the serial baseline, the tape/replay path
+/// run inline on the coordinating thread, or the real worker pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Serial,
+    ParallelInline,
+    ParallelPool,
+}
+
+impl Mode {
+    fn configure(self, m: &mut Machine) {
+        match self {
+            Mode::Serial => m.set_parallel(false),
+            Mode::ParallelInline => {
+                m.set_parallel(true);
+                m.set_parallel_threads(1);
+            }
+            Mode::ParallelPool => {
+                m.set_parallel(true);
+                m.set_parallel_threads(2);
+            }
+        }
+    }
+}
+
+/// Run `app` on (`arch` × `chips`) in `mode`; returns (serialized
+/// RunResult, cycles, event digest, event count).
+fn run_once(
+    arch: ArchKind,
+    chips: usize,
+    app_name: &str,
+    seed: u64,
+    fastforward: bool,
+    mode: Mode,
+) -> (String, u64, u64, u64) {
+    let app = by_name(app_name).expect("paper app");
+    let mut m = Machine::new(arch.chip(), chips, MemConfig::table3(), seed);
+    m.set_fastforward(fastforward);
+    mode.configure(&mut m);
+    let n_threads = m.hw_thread_capacity();
+    let params = AppParams::new(n_threads, chips, SCALE, seed);
+    m.attach_threads(build_streams(&app, &params));
+    let mut probe = EventDigest::new();
+    let r = m.run_probed(MAX_CYCLES, &mut probe);
+    let json = serde_json::to_string(&r).expect("RunResult serializes");
+    (json, r.cycles, probe.hash(), probe.events())
+}
+
+/// Like [`run_once`] but under a dynamic scheduling policy, with the
+/// scheduler-event digest (migration events included).
+fn run_once_sched(
+    arch: ArchKind,
+    app_name: &str,
+    seed: u64,
+    policy: &str,
+    fastforward: bool,
+    mode: Mode,
+) -> (String, u64, u64, u64) {
+    let app = by_name(app_name).expect("paper app");
+    let mut m = Machine::new(arch.chip(), 1, MemConfig::table3(), seed);
+    m.set_fastforward(fastforward);
+    mode.configure(&mut m);
+    m.set_scheduler(sched_by_name(policy).expect("known policy"))
+        .expect("dynamic-capable arch");
+    let n_threads = m.hw_thread_capacity();
+    let params = AppParams::new(n_threads, 1, SCALE, seed);
+    m.attach_threads(build_streams(&app, &params));
+    let mut probe = SchedEventDigest::new();
+    let r = m.run_probed(MAX_CYCLES, &mut probe);
+    let json = serde_json::to_string(&r).expect("RunResult serializes");
+    (json, r.cycles, probe.hash(), probe.events())
+}
+
+fn arb_arch() -> impl Strategy<Value = ArchKind> {
+    prop_oneof![
+        Just(ArchKind::Fa8),
+        Just(ArchKind::Fa4),
+        Just(ArchKind::Fa2),
+        Just(ArchKind::Fa1),
+        Just(ArchKind::Smt4),
+        Just(ArchKind::Smt2),
+        Just(ArchKind::Smt1),
+    ]
+}
+
+fn arb_chips() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(1usize), Just(2), Just(4)]
+}
+
+fn arb_app() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just("mgrid"), Just("ocean"), Just("fmm"), Just("swim")]
+}
+
+fn arb_ff() -> impl Strategy<Value = bool> {
+    any::<bool>()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Serial vs parallel (inline and pooled): identical RunResult
+    /// (bit-for-bit, via its JSON serialization), identical cycle count,
+    /// identical event stream — with the fast-forward in both states.
+    #[test]
+    fn parallel_step_is_bit_for_bit_invisible(
+        arch in arb_arch(),
+        chips in arb_chips(),
+        app in arb_app(),
+        seed in 0u64..1 << 48,
+        ff in arb_ff(),
+    ) {
+        let serial = run_once(arch, chips, app, seed, ff, Mode::Serial);
+        for mode in [Mode::ParallelInline, Mode::ParallelPool] {
+            let par = run_once(arch, chips, app, seed, ff, mode);
+            prop_assert_eq!(serial.1, par.1, "cycle counts differ ({:?})", mode);
+            prop_assert_eq!(serial.3, par.3, "event counts differ ({:?})", mode);
+            prop_assert_eq!(serial.2, par.2, "event streams differ ({:?})", mode);
+            prop_assert_eq!(&serial.0, &par.0, "RunResults differ ({:?})", mode);
+        }
+    }
+
+    /// Composed with dynamic scheduling: drain/migration cycles force
+    /// the serial fallback mid-run, so the machine flips between modes;
+    /// results and scheduler-event streams must not notice.
+    #[test]
+    fn parallel_step_composes_with_dynamic_scheduling(
+        arch in prop_oneof![Just(ArchKind::Smt4), Just(ArchKind::Smt2), Just(ArchKind::Smt1)],
+        app in arb_app(),
+        seed in 0u64..1 << 48,
+        policy in prop_oneof![Just("barrier"), Just("hazard_pairing")],
+        ff in arb_ff(),
+    ) {
+        let serial = run_once_sched(arch, app, seed, policy, ff, Mode::Serial);
+        for mode in [Mode::ParallelInline, Mode::ParallelPool] {
+            let par = run_once_sched(arch, app, seed, policy, ff, mode);
+            prop_assert_eq!(serial.1, par.1, "cycle counts differ ({:?})", mode);
+            prop_assert_eq!(serial.3, par.3, "event counts differ ({:?})", mode);
+            prop_assert_eq!(serial.2, par.2, "event streams differ ({:?})", mode);
+            prop_assert_eq!(&serial.0, &par.0, "RunResults differ ({:?})", mode);
+        }
+    }
+}
+
+/// A deterministic anchor alongside the random sweep: the exact
+/// golden-digest configuration (`mgrid`, seed 0xC5317) plus a 4-chip
+/// high-end point, through the real worker pool, checked on every test
+/// run regardless of proptest's case stream.
+#[test]
+fn parallel_matches_serial_on_golden_configs() {
+    for (arch, chips) in [
+        (ArchKind::Smt2, 1),
+        (ArchKind::Fa8, 1),
+        (ArchKind::Fa4, 4),
+        (ArchKind::Smt4, 4),
+    ] {
+        let serial = run_once(arch, chips, "mgrid", 0xC5_317, true, Mode::Serial);
+        for mode in [Mode::ParallelInline, Mode::ParallelPool] {
+            let par = run_once(arch, chips, "mgrid", 0xC5_317, true, mode);
+            assert_eq!(serial, par, "{} × {chips} chips ({mode:?})", arch.name());
+        }
+    }
+}
