@@ -73,8 +73,10 @@ pub const RULE_IDS: [&str; 5] = [
 ///   covers `workloads`, whose generators seed those runs).
 /// * `wall-clock` — every first-party crate except `csmt-bench`, whose
 ///   entire job is measuring host wall-clock.
-/// * `concurrency` — the six sim crates; observer crates (`trace`,
-///   `metrics`, `verify`) and the bench harness run host-side.
+/// * `concurrency` — the six sim crates plus the sweep engine (whose
+///   work-stealing pool is a registered seam); observer crates
+///   (`trace`, `metrics`, `verify`) and the bench harness run
+///   host-side.
 /// * `probe-gate` — the three crates that emit probe events.
 #[must_use]
 pub fn in_scope(rule: &str, path: &str) -> bool {
@@ -97,6 +99,7 @@ pub fn in_scope(rule: &str, path: &str) -> bool {
             "crates/isa/src/",
             "crates/workloads/src/",
             "crates/model/src/",
+            "crates/sweep/src/",
         ]),
         "probe-gate" => under(&["crates/core/src/", "crates/cpu/src/", "crates/mem/src/"]),
         "float-accum" => under(&[

@@ -172,27 +172,17 @@ fn main() {
     }
     variants.push(("FA4/static".into(), None));
 
-    // Every cell is an independent deterministic simulation: fan the whole
-    // grid out across OS threads, reassemble in order.
-    let grid: Vec<Vec<(u64, f64, u64, u64)>> = std::thread::scope(|s| {
-        let handles: Vec<Vec<_>> = workloads
-            .iter()
-            .map(|w| {
-                variants
-                    .iter()
-                    .map(|(_, p)| s.spawn(move || w.run(p.as_deref(), scale)))
-                    .collect()
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|row| {
-                row.into_iter()
-                    .map(|h| h.join().expect("sim thread"))
-                    .collect()
-            })
-            .collect()
-    });
+    // Every cell is an independent deterministic simulation: run the
+    // flattened grid through the bounded work-stealing sweep pool
+    // (CSMT_SWEEP_THREADS workers) and reassemble rows in order.
+    let ncols = variants.len();
+    let flat = csmt_sweep::pool::run_jobs(
+        workloads.len() * ncols,
+        csmt_sweep::SweepEngine::from_env().threads(),
+        |i| workloads[i / ncols].run(variants[i % ncols].1.as_deref(), scale),
+        |_, _| {},
+    );
+    let grid: Vec<Vec<(u64, f64, u64, u64)>> = flat.chunks(ncols).map(<[_]>::to_vec).collect();
 
     let mut cells: Vec<Fig9Cell> = Vec::new();
     for (w, row) in workloads.iter().zip(&grid) {

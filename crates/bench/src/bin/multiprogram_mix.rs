@@ -11,6 +11,17 @@
 use csmt_core::ArchKind;
 use csmt_workloads::{all_apps, simulate_job_batches};
 
+/// The studied architectures, in display order (FA8 is the baseline).
+const ARCHS: [ArchKind; 7] = [
+    ArchKind::Fa8,
+    ArchKind::Fa4,
+    ArchKind::Fa2,
+    ArchKind::Fa1,
+    ArchKind::Smt4,
+    ArchKind::Smt2,
+    ArchKind::Smt1,
+];
+
 fn main() {
     let scale = csmt_bench::scale_from_args_or(0.3);
     let apps = all_apps();
@@ -20,27 +31,33 @@ fn main() {
         ("8 jobs over all six applications", vec![0, 1, 2, 3, 4, 5]),
     ];
     const JOBS: usize = 8;
-    for (name, idxs) in &mixes {
-        let mix: Vec<_> = idxs.iter().map(|&i| apps[i].clone()).collect();
+    // The full (mix × arch) grid through the bounded work-stealing sweep
+    // pool; results come back in grid order, so output is byte-identical
+    // to the old serial loop.
+    let grids: Vec<Vec<_>> = {
+        let mix_specs: Vec<Vec<_>> = mixes
+            .iter()
+            .map(|(_, idxs)| idxs.iter().map(|&i| apps[i].clone()).collect())
+            .collect();
+        let flat = csmt_sweep::pool::run_jobs(
+            mix_specs.len() * ARCHS.len(),
+            csmt_sweep::SweepEngine::from_env().threads(),
+            |i| {
+                let arch = ARCHS[i % ARCHS.len()];
+                simulate_job_batches(&mix_specs[i / ARCHS.len()], JOBS, arch.chip(), 1, scale, 7)
+            },
+            |_, _| {},
+        );
+        flat.chunks(ARCHS.len()).map(<[_]>::to_vec).collect()
+    };
+    for ((name, _), row) in mixes.iter().zip(&grids) {
         println!("== {name} ==");
         println!(
             "{:<6} {:>8} {:>12} {:>12} {:>8}",
             "arch", "batches", "total cyc", "throughput", "vs FA8"
         );
-        let mut base = 0u64;
-        for arch in [
-            ArchKind::Fa8,
-            ArchKind::Fa4,
-            ArchKind::Fa2,
-            ArchKind::Fa1,
-            ArchKind::Smt4,
-            ArchKind::Smt2,
-            ArchKind::Smt1,
-        ] {
-            let r = simulate_job_batches(&mix, JOBS, arch.chip(), 1, scale, 7);
-            if arch == ArchKind::Fa8 {
-                base = r.total_cycles;
-            }
+        let base = row[0].total_cycles;
+        for (arch, r) in ARCHS.iter().zip(row) {
             println!(
                 "{:<6} {:>8} {:>12} {:>11.2} {:>7.0}%",
                 arch.name(),

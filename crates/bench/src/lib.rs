@@ -7,7 +7,8 @@
 
 use csmt_core::{ArchKind, RunResult};
 use csmt_cpu::Hazard;
-use csmt_workloads::{simulate, AppSpec};
+use csmt_sweep::{SweepCell, SweepEngine};
+use csmt_workloads::AppSpec;
 use serde::Serialize;
 
 /// Work scale used by the figure binaries (full figure quality).
@@ -64,6 +65,16 @@ pub const ENV_KNOBS: &[(&str, &str, &str)] = &[
         "CSMT_SCHED=<policy>",
         "all simulators",
         "thread-to-cluster allocation policy: static (default), barrier, hazard_pairing; dynamic policies fall back to static on fixed-assignment archs; an unknown name exits 2 with the valid names",
+    ),
+    (
+        "CSMT_SWEEP_CACHE=<dir>",
+        "fig*, csmt-sweep",
+        "content-addressed result cache: previously computed sweep cells are file reads (results are identical either way)",
+    ),
+    (
+        "CSMT_SWEEP_THREADS=<n>",
+        "fig*, csmt-sweep",
+        "worker count of the sweep engine's work-stealing pool (default: host parallelism; results are identical at any count)",
     ),
     (
         "CSMT_JSON_DIR=<dir>",
@@ -162,11 +173,13 @@ impl AppRow {
 /// Run one figure: `archs` × `apps` on `n_chips` chips, normalizing each
 /// application to `baseline` (FA8 for Figs 4/5, SMT8 for Figs 7/8).
 ///
-/// Every (app × arch) cell is an independent, deterministic simulation,
-/// so the whole grid fans out across OS threads at once — a slow cell
-/// (e.g. ocean on FA1) overlaps every other cell instead of gating its
-/// row. Results are reassembled in (apps, archs) order, so the output is
-/// identical to a sequential sweep.
+/// The grid runs through the environment-configured [`SweepEngine`]
+/// (bounded work-stealing pool, `CSMT_SWEEP_THREADS` workers, optional
+/// `CSMT_SWEEP_CACHE` result cache) — a slow cell (e.g. ocean on FA1)
+/// overlaps other cells without the old one-OS-thread-per-cell fan-out,
+/// and a repeat run with a cache attached is ~pure file reads. Results
+/// come back in (apps, archs) order, byte-identical to a sequential
+/// sweep at any worker count, cached or not.
 pub fn run_figure(
     archs: &[ArchKind],
     apps: &[AppSpec],
@@ -174,29 +187,46 @@ pub fn run_figure(
     baseline: ArchKind,
     scale: f64,
 ) -> Vec<AppRow> {
-    use std::thread;
-    let grid: Vec<Vec<RunResult>> = thread::scope(|s| {
-        let handles: Vec<Vec<_>> = apps
-            .iter()
-            .map(|app| {
-                archs
-                    .iter()
-                    .map(|&a| s.spawn(move || simulate(app, a, n_chips, scale, FIGURE_SEED)))
-                    .collect()
+    run_figure_with_engine(
+        &SweepEngine::from_env(),
+        archs,
+        apps,
+        n_chips,
+        baseline,
+        scale,
+    )
+}
+
+/// [`run_figure`] on an explicit engine (tests pin the worker count and
+/// cache instead of inheriting the environment's).
+pub fn run_figure_with_engine(
+    engine: &SweepEngine,
+    archs: &[ArchKind],
+    apps: &[AppSpec],
+    n_chips: usize,
+    baseline: ArchKind,
+    scale: f64,
+) -> Vec<AppRow> {
+    let sched = csmt_core::sched::policy_name_from_env()
+        .unwrap_or_else(|e| panic!("{e} (from CSMT_SCHED)"));
+    let cells: Vec<SweepCell> = apps
+        .iter()
+        .flat_map(|app| {
+            archs.iter().map(|&arch| SweepCell {
+                app: app.clone(),
+                arch,
+                n_chips,
+                seed: FIGURE_SEED,
+                scale,
+                sched: sched.to_string(),
             })
-            .collect();
-        handles
-            .into_iter()
-            .map(|row| {
-                row.into_iter()
-                    .map(|h| h.join().expect("sim thread"))
-                    .collect()
-            })
-            .collect()
-    });
+        })
+        .collect();
+    let results = engine.run(&cells).results;
     apps.iter()
-        .zip(grid)
-        .map(|(app, results)| {
+        .zip(results.chunks(archs.len().max(1)))
+        .map(|(app, chunk)| {
+            let results = chunk.to_vec();
             let base_cycles = archs
                 .iter()
                 .zip(&results)
@@ -381,6 +411,64 @@ mod tests {
         let parsed: serde_json::Value = serde_json::from_str(&body).unwrap();
         assert_eq!(parsed.as_array().unwrap().len(), 1);
         assert_eq!(parsed[0]["arch"], "FA8");
+    }
+
+    #[test]
+    fn run_figure_matches_direct_simulation_bit_for_bit() {
+        // The sweep-engine path (explicit "static" policy via
+        // simulate_with_sched_name) must be indistinguishable from the
+        // plain `simulate` the figures used before the engine existed.
+        let apps = vec![by_name("vpenta").unwrap(), by_name("fmm").unwrap()];
+        let archs = [ArchKind::Fa8, ArchKind::Smt2];
+        let rows = run_figure(&archs, &apps, 1, ArchKind::Fa8, 0.02);
+        for (row, app) in rows.iter().zip(&apps) {
+            for cell in &row.cells {
+                let direct = csmt_workloads::simulate(app, cell.arch, 1, 0.02, FIGURE_SEED);
+                assert_eq!(
+                    serde_json::to_string(&cell.result).unwrap(),
+                    serde_json::to_string(&direct).unwrap(),
+                    "{} on {}",
+                    app.name,
+                    cell.arch.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_figure_serial_equals_pooled() {
+        // Same grid, 1 worker vs a real pool (the host may be 1-CPU, so
+        // force the worker count): every cell and every normalization
+        // must be bit-for-bit identical.
+        let apps = vec![by_name("mgrid").unwrap(), by_name("swim").unwrap()];
+        let archs = [ArchKind::Fa8, ArchKind::Fa2, ArchKind::Smt2];
+        let serial = run_figure_with_engine(
+            &csmt_sweep::SweepEngine::new(1, None),
+            &archs,
+            &apps,
+            1,
+            ArchKind::Fa8,
+            0.02,
+        );
+        let pooled = run_figure_with_engine(
+            &csmt_sweep::SweepEngine::new(4, None),
+            &archs,
+            &apps,
+            1,
+            ArchKind::Fa8,
+            0.02,
+        );
+        for (a, b) in serial.iter().zip(&pooled) {
+            assert_eq!(a.app, b.app);
+            for (ca, cb) in a.cells.iter().zip(&b.cells) {
+                assert_eq!(ca.arch, cb.arch);
+                assert!((ca.normalized - cb.normalized).abs() == 0.0);
+                assert_eq!(
+                    serde_json::to_string(&ca.result).unwrap(),
+                    serde_json::to_string(&cb.result).unwrap()
+                );
+            }
+        }
     }
 
     #[test]

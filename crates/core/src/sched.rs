@@ -259,6 +259,19 @@ pub fn policy_from_env() -> Result<Option<Box<dyn ThreadScheduler + Send>>, Unkn
     by_name(&name).map(Some).ok_or(UnknownPolicy { name })
 }
 
+/// The canonical name of the policy `CSMT_SCHED` selects: `"static"`
+/// when the variable is unset, otherwise the policy's own
+/// [`name`](ThreadScheduler::name). The sweep engine keys its result
+/// cache on this, so two processes with the same environment agree on
+/// the key without constructing a machine.
+///
+/// # Errors
+/// [`UnknownPolicy`] when `CSMT_SCHED` is set to a name outside
+/// [`POLICY_NAMES`].
+pub fn policy_name_from_env() -> Result<&'static str, UnknownPolicy> {
+    Ok(policy_from_env()?.map_or("static", |p| p.name()))
+}
+
 /// The paper's static policy: round-robin placement at attach, no
 /// migrations. The default, pinned bit-for-bit against the golden
 /// determinism digests.

@@ -1,0 +1,286 @@
+//! `csmt-sweep` — run a design-space grid through the sweep engine.
+//!
+//! The grid is the cross product of `--scales × --seeds × --chips ×
+//! --apps × --archs` (cells enumerate in exactly that nesting order,
+//! innermost last), every cell simulated under one `--sched` policy.
+//! Output is a JSONL line per cell (`--out`), an aggregate summary
+//! (`--summary`), or both — and both are **deterministic**: byte-for-byte
+//! identical across worker counts, cache states, and resumed runs. The
+//! run-specific hit/miss/throughput report goes to stdout only.
+//!
+//! With a cache attached (`--cache` or `CSMT_SWEEP_CACHE`), the cache is
+//! also the checkpoint: kill the sweep at any point, rerun the same
+//! command, and only the missing cells simulate — the outputs are
+//! rewritten in full, byte-identical to an uninterrupted run.
+
+use csmt_core::{sched::POLICY_NAMES, ArchKind};
+use csmt_sweep::{ResultCache, SweepCell, SweepEngine, CACHE_SCHEMA};
+use csmt_trace::StatsRegistry;
+use csmt_workloads::{all_apps, by_name, AppSpec};
+use std::io::Write as _;
+
+/// Default seed: the figure seed used by every `fig*` binary.
+const DEFAULT_SEED: u64 = 0xC5_317;
+/// Default work scale: smoke-grid quality, not figure quality.
+const DEFAULT_SCALE: f64 = 0.05;
+
+fn usage() -> String {
+    let arch_names: Vec<&str> = ArchKind::ALL.iter().map(|a| a.name()).collect();
+    let app_names: Vec<&str> = all_apps().iter().map(|a| a.name).collect();
+    format!(
+        "usage: csmt-sweep [options]\n\
+         \n\
+         grid options (comma-separated lists; cells enumerate as\n\
+         scales x seeds x chips x apps x archs, innermost last):\n\
+         \x20 --archs <list>    architectures (default: all; {arch})\n\
+         \x20 --apps <list>     applications (default: all; {app})\n\
+         \x20 --chips <list>    machine sizes in chips (default: 1)\n\
+         \x20 --seeds <list>    RNG seeds (default: {seed} — the figure seed)\n\
+         \x20 --scales <list>   work scales (default: {scale})\n\
+         \x20 --sched <name>    scheduling policy for every cell\n\
+         \x20                   (default: CSMT_SCHED or static; {pol})\n\
+         \n\
+         engine options:\n\
+         \x20 --threads <n>     worker count (default: CSMT_SWEEP_THREADS\n\
+         \x20                   or host parallelism)\n\
+         \x20 --cache <dir>     result-cache directory (default:\n\
+         \x20                   CSMT_SWEEP_CACHE, or no cache)\n\
+         \n\
+         output options (all deterministic; run-specific hit/miss and\n\
+         throughput stats go to stdout only):\n\
+         \x20 --out <path>      write one JSONL line per cell\n\
+         \x20 --summary <path>  write the aggregate summary JSON\n\
+         \x20 --print-keys      print each cell's cache key, skip simulation\n\
+         \x20 --help            this text\n",
+        arch = arch_names.join(", "),
+        app = app_names.join(", "),
+        seed = DEFAULT_SEED,
+        scale = DEFAULT_SCALE,
+        pol = POLICY_NAMES.join(", "),
+    )
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}
+
+fn parse_list<T, F: Fn(&str) -> Option<T>>(raw: &str, what: &str, parse: F) -> Vec<T> {
+    let items: Vec<T> = raw
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| parse(s).unwrap_or_else(|| fail(&format!("bad {what} {s:?}"))))
+        .collect();
+    if items.is_empty() {
+        fail(&format!("empty {what} list"));
+    }
+    items
+}
+
+fn arch_by_name(name: &str) -> Option<ArchKind> {
+    ArchKind::ALL
+        .into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(name))
+}
+
+struct Options {
+    archs: Vec<ArchKind>,
+    apps: Vec<AppSpec>,
+    chips: Vec<usize>,
+    seeds: Vec<u64>,
+    scales: Vec<f64>,
+    sched: String,
+    threads: Option<usize>,
+    cache: Option<String>,
+    out: Option<String>,
+    summary: Option<String>,
+    print_keys: bool,
+}
+
+fn parse_args() -> Options {
+    let mut opt = Options {
+        archs: ArchKind::ALL.to_vec(),
+        apps: all_apps(),
+        chips: vec![1],
+        seeds: vec![DEFAULT_SEED],
+        scales: vec![DEFAULT_SCALE],
+        sched: match csmt_core::sched::policy_name_from_env() {
+            Ok(name) => name.to_string(),
+            Err(e) => fail(&format!("{e} (from CSMT_SCHED)")),
+        },
+        threads: None,
+        cache: None,
+        out: None,
+        summary: None,
+        print_keys: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--help" {
+            print!("{}", usage());
+            std::process::exit(0);
+        }
+        if flag == "--print-keys" {
+            opt.print_keys = true;
+            i += 1;
+            continue;
+        }
+        let value = args
+            .get(i + 1)
+            .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+            .clone();
+        match flag {
+            "--archs" => opt.archs = parse_list(&value, "arch", arch_by_name),
+            "--apps" => opt.apps = parse_list(&value, "app", by_name),
+            "--chips" => opt.chips = parse_list(&value, "chip count", |s| s.parse().ok()),
+            "--seeds" => opt.seeds = parse_list(&value, "seed", |s| s.parse().ok()),
+            "--scales" => opt.scales = parse_list(&value, "scale", |s| s.parse().ok()),
+            "--sched" => {
+                if !POLICY_NAMES.contains(&value.as_str()) {
+                    fail(&format!(
+                        "unknown policy {value:?}; valid names: {}",
+                        POLICY_NAMES.join(", ")
+                    ));
+                }
+                opt.sched = value;
+            }
+            "--threads" => {
+                opt.threads = Some(value.parse().unwrap_or_else(|_| fail("bad --threads")));
+            }
+            "--cache" => opt.cache = Some(value),
+            "--out" => opt.out = Some(value),
+            "--summary" => opt.summary = Some(value),
+            _ => fail(&format!("unknown flag {flag:?} (see --help)")),
+        }
+        i += 2;
+    }
+    opt
+}
+
+fn build_cells(opt: &Options) -> Vec<SweepCell> {
+    let mut cells = Vec::new();
+    for &scale in &opt.scales {
+        for &seed in &opt.seeds {
+            for &n_chips in &opt.chips {
+                for app in &opt.apps {
+                    for &arch in &opt.archs {
+                        cells.push(SweepCell {
+                            app: app.clone(),
+                            arch,
+                            n_chips,
+                            seed,
+                            scale,
+                            sched: opt.sched.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// One deterministic JSONL line for a completed cell.
+fn jsonl_line(cell: &SweepCell, result: &csmt_core::RunResult) -> String {
+    let mut line = StatsRegistry::new();
+    line.record("app", cell.app.name);
+    line.record("arch", cell.arch.name());
+    line.record("chips", &cell.n_chips);
+    line.record("seed", &cell.seed);
+    line.record("scale", &cell.scale);
+    line.record("sched", cell.sched.as_str());
+    line.record("key", &format!("{:016x}", cell.key()));
+    line.record("result", result);
+    line.to_json()
+}
+
+/// The deterministic aggregate summary (no hit/miss/timing — those are
+/// run-specific and go to stdout only).
+fn summary(opt: &Options, cells: &[SweepCell], results: &[csmt_core::RunResult]) -> StatsRegistry {
+    let mut reg = StatsRegistry::new();
+    reg.record("schema", CACHE_SCHEMA);
+    reg.record("cells", &cells.len());
+    let arch_names: Vec<&str> = opt.archs.iter().map(|a| a.name()).collect();
+    let app_names: Vec<&str> = opt.apps.iter().map(|a| a.name).collect();
+    reg.record("archs", &arch_names[..]);
+    reg.record("apps", &app_names[..]);
+    reg.record("chips", &opt.chips[..]);
+    reg.record("seeds", &opt.seeds[..]);
+    reg.record("scales", &opt.scales[..]);
+    reg.record("sched", opt.sched.as_str());
+    reg.record(
+        "total_cycles",
+        &results.iter().map(|r| r.cycles).sum::<u64>(),
+    );
+    reg.record(
+        "total_committed",
+        &results.iter().map(|r| r.slots.committed).sum::<u64>(),
+    );
+    reg
+}
+
+fn main() {
+    let opt = parse_args();
+    let cells = build_cells(&opt);
+    if opt.print_keys {
+        for cell in &cells {
+            println!(
+                "{:016x} {} {} chips={} seed={} scale={:?} sched={}",
+                cell.key(),
+                cell.app.name,
+                cell.arch.name(),
+                cell.n_chips,
+                cell.seed,
+                cell.scale,
+                cell.sched,
+            );
+        }
+        return;
+    }
+
+    let cache = match &opt.cache {
+        Some(dir) => {
+            Some(ResultCache::new(dir).unwrap_or_else(|e| fail(&format!("cache dir {dir:?}: {e}"))))
+        }
+        None => ResultCache::from_env(),
+    };
+    let threads = opt
+        .threads
+        .unwrap_or_else(|| SweepEngine::from_env().threads());
+    let engine = SweepEngine::new(threads, cache);
+
+    let mut out: Option<std::io::BufWriter<std::fs::File>> = opt.out.as_ref().map(|path| {
+        std::io::BufWriter::new(
+            std::fs::File::create(path)
+                .unwrap_or_else(|e| fail(&format!("cannot create {path:?}: {e}"))),
+        )
+    });
+
+    let start = std::time::Instant::now();
+    let outcome = engine.run_streaming(&cells, |i, result| {
+        if let Some(w) = &mut out {
+            writeln!(w, "{}", jsonl_line(&cells[i], result)).expect("JSONL write");
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    if let Some(mut w) = out {
+        w.flush().expect("JSONL flush");
+    }
+
+    if let Some(path) = &opt.summary {
+        summary(&opt, &cells, &outcome.results)
+            .write_json(path)
+            .unwrap_or_else(|e| fail(&format!("cannot write {path:?}: {e}")));
+    }
+
+    println!(
+        "swept {} cells in {elapsed:.2}s ({:.1} cells/sec) on {} worker(s): {} hits, {} misses",
+        cells.len(),
+        cells.len() as f64 / elapsed.max(1e-9),
+        engine.threads(),
+        outcome.hits,
+        outcome.misses,
+    );
+}

@@ -1,0 +1,176 @@
+//! Bounded work-stealing job pool with in-order streaming emission.
+//!
+//! The figure sweeps used to fan out one OS thread per grid cell
+//! (`thread::scope` in `run_figure`), which is unbounded: a 4-seed ×
+//! 8-arch × 6-app grid would spawn 192 threads at once. This pool runs
+//! any number of jobs on a fixed worker count, like `par_step.rs`'s
+//! cluster pool (rayon is not vendored — see vendor/README.md).
+//!
+//! Design, mirroring the determinism rules of the parallel cluster step:
+//!
+//! * every job index is pre-seeded round-robin onto one worker's deque
+//!   (`i % nworkers`), so with no stealing the assignment is static;
+//! * an idle worker pops its own deque from the *front* and steals from
+//!   siblings' *backs*, so stealing grabs the work farthest from where
+//!   the owner is currently working;
+//! * results land in a slot array indexed by job, and a single shared
+//!   cursor drains completed results **in job order** through the
+//!   caller's sink — so streaming output is byte-identical regardless
+//!   of worker count or steal interleaving.
+//!
+//! Job *completion order* is scheduling-dependent; everything observable
+//! (the returned `Vec`, the sink call order) is not. This file is the
+//! crate's registered concurrency seam (csmt-audit.toml `[[seam]]`): all
+//! `Mutex`/`thread::scope` use in csmt-sweep lives here.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Shared emission state: the result slots plus the in-order cursor.
+/// Destructured under one lock so insert-and-drain is atomic.
+struct Emit<T, C> {
+    results: Vec<Option<T>>,
+    next: usize,
+    sink: C,
+}
+
+/// Run `n_jobs` jobs (`job(i)` for `i in 0..n_jobs`) on at most
+/// `threads` workers, calling `sink(i, &result)` for every job **in
+/// ascending job order** as results become ready, and returning all
+/// results in job order.
+///
+/// With `threads <= 1` (or a single job) everything runs inline on the
+/// calling thread — the default on single-CPU hosts — and the parallel
+/// path produces byte-identical observable behavior.
+pub fn run_jobs<T, F, C>(n_jobs: usize, threads: usize, job: F, mut sink: C) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    C: FnMut(usize, &T) + Send,
+{
+    if threads <= 1 || n_jobs <= 1 {
+        return (0..n_jobs)
+            .map(|i| {
+                let r = job(i);
+                sink(i, &r);
+                r
+            })
+            .collect();
+    }
+    let nworkers = threads.min(n_jobs);
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..nworkers)
+        .map(|w| Mutex::new((0..n_jobs).filter(|i| i % nworkers == w).collect()))
+        .collect();
+    let emit = Mutex::new(Emit {
+        results: (0..n_jobs).map(|_| None).collect(),
+        next: 0,
+        sink,
+    });
+    std::thread::scope(|s| {
+        for w in 0..nworkers {
+            let (queues, emit, job) = (&queues, &emit, &job);
+            s.spawn(move || {
+                while let Some(i) = next_job(queues, w) {
+                    let r = job(i);
+                    let mut e = emit.lock().expect("emit lock");
+                    let Emit {
+                        results,
+                        next,
+                        sink,
+                    } = &mut *e;
+                    results[i] = Some(r);
+                    // Drain every consecutive ready result in job order.
+                    while let Some(Some(r)) = results.get(*next) {
+                        sink(*next, r);
+                        *next += 1;
+                    }
+                }
+            });
+        }
+    });
+    emit.into_inner()
+        .expect("emit lock")
+        .results
+        .into_iter()
+        .map(|r| r.expect("every job ran"))
+        .collect()
+}
+
+/// Claim the next job for worker `w`: own deque front first, then a
+/// steal from a sibling's back. `None` means the whole grid is claimed
+/// (jobs are only seeded up front, so the worker can retire).
+fn next_job(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+    if let Some(i) = queues[w].lock().expect("queue lock").pop_front() {
+        return Some(i);
+    }
+    for q in queues.iter().cycle().skip(w + 1).take(queues.len() - 1) {
+        if let Some(i) = q.lock().expect("queue lock").pop_back() {
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_collecting(n_jobs: usize, threads: usize) -> (Vec<usize>, Vec<usize>) {
+        let mut streamed = Vec::new();
+        let results = run_jobs(
+            n_jobs,
+            threads,
+            |i| i * 10,
+            |i, &r| streamed.push(i * 1000 + r),
+        );
+        (results, streamed)
+    }
+
+    #[test]
+    fn serial_and_pooled_agree_in_results_and_sink_order() {
+        let (serial_r, serial_s) = run_collecting(23, 1);
+        for threads in [2, 4, 7, 32] {
+            let (r, s) = run_collecting(23, threads);
+            assert_eq!(r, serial_r, "{threads} threads");
+            assert_eq!(s, serial_s, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn sink_sees_every_job_exactly_once_in_order() {
+        let (_, streamed) = run_collecting(50, 4);
+        let expect: Vec<usize> = (0..50).map(|i| i * 1000 + i * 10).collect();
+        assert_eq!(streamed, expect);
+    }
+
+    #[test]
+    fn zero_and_one_job_edge_cases() {
+        assert!(run_jobs(0, 4, |i| i, |_, _| {}).is_empty());
+        assert_eq!(run_jobs(1, 4, |i| i + 7, |_, _| {}), vec![7]);
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_clamped() {
+        let (r, s) = run_collecting(3, 64);
+        assert_eq!(r, vec![0, 10, 20]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn uneven_job_cost_still_emits_in_order() {
+        // Job 0 is the slowest; its sink call must still come first.
+        let mut order = Vec::new();
+        run_jobs(
+            8,
+            4,
+            |i| {
+                if i == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                }
+                i
+            },
+            |i, _| order.push(i),
+        );
+        assert_eq!(order, (0..8).collect::<Vec<_>>());
+    }
+}

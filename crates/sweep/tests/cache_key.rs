@@ -1,0 +1,209 @@
+//! Cache-key sensitivity and entry self-verification.
+//!
+//! The content-addressed key must be (a) stable across *processes* — a
+//! cache written yesterday hits today — and (b) sensitive to every
+//! individual knob that can change a result, including the schema tag.
+//! Entries must prove their own integrity: corruption, truncation, and
+//! foreign schemas are misses, never trusted data.
+
+use csmt_core::ArchKind;
+use csmt_sweep::{cache::payload_digest, ResultCache, SweepCell, SweepEngine, CACHE_SCHEMA};
+use csmt_workloads::by_name;
+use std::process::Command;
+
+fn base_cell() -> SweepCell {
+    SweepCell {
+        app: by_name("mgrid").unwrap(),
+        arch: ArchKind::Smt2,
+        n_chips: 1,
+        seed: 42,
+        scale: 0.02,
+        sched: "static".to_string(),
+    }
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("csmt_sweep_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// `--print-keys` output of a fresh OS process over a fixed small grid.
+fn keys_from_fresh_process() -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_csmt-sweep"))
+        .args([
+            "--archs",
+            "FA2,SMT2",
+            "--apps",
+            "mgrid,fmm",
+            "--seeds",
+            "42",
+            "--scales",
+            "0.02",
+            "--sched",
+            "static",
+            "--print-keys",
+        ])
+        .env_remove("CSMT_SCHED")
+        .env_remove("CSMT_SWEEP_CACHE")
+        .env_remove("CSMT_SWEEP_THREADS")
+        .output()
+        .expect("run csmt-sweep");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).unwrap()
+}
+
+#[test]
+fn keys_are_stable_across_two_processes() {
+    let first = keys_from_fresh_process();
+    let second = keys_from_fresh_process();
+    assert!(!first.is_empty());
+    assert_eq!(first, second, "cache keys must not depend on process state");
+    // And the in-process computation agrees with the binary's.
+    let cell = SweepCell {
+        arch: ArchKind::Fa2,
+        ..base_cell()
+    };
+    assert!(
+        first.starts_with(&format!("{:016x} ", cell.key())),
+        "binary key disagrees with library key:\n{first}"
+    );
+}
+
+#[test]
+fn every_knob_changes_the_key() {
+    let base = base_cell();
+    let variants = [
+        (
+            "arch",
+            SweepCell {
+                arch: ArchKind::Fa4,
+                ..base.clone()
+            },
+        ),
+        (
+            "chips",
+            SweepCell {
+                n_chips: 4,
+                ..base.clone()
+            },
+        ),
+        (
+            "app",
+            SweepCell {
+                app: by_name("ocean").unwrap(),
+                ..base.clone()
+            },
+        ),
+        (
+            "seed",
+            SweepCell {
+                seed: 43,
+                ..base.clone()
+            },
+        ),
+        (
+            "scale",
+            SweepCell {
+                scale: 0.021,
+                ..base.clone()
+            },
+        ),
+        (
+            "sched",
+            SweepCell {
+                sched: "barrier".to_string(),
+                ..base.clone()
+            },
+        ),
+    ];
+    let mut keys = vec![("base", base.key())];
+    for (knob, cell) in &variants {
+        keys.push((knob, cell.key()));
+    }
+    keys.push(("schema", base.key_with_schema("csmt-sweep-v0-test")));
+    for (i, (name_a, key_a)) in keys.iter().enumerate() {
+        for (name_b, key_b) in &keys[i + 1..] {
+            assert_ne!(key_a, key_b, "{name_a} vs {name_b} collide");
+        }
+    }
+}
+
+#[test]
+fn same_shape_different_kind_still_gets_distinct_keys() {
+    // FA8 and SMT8 share the hardware shape (8 clusters × width 1), but
+    // `ChipConfig.kind` is part of the digested configuration, so the
+    // two Table-2 rows never share cache entries.
+    let fa8 = SweepCell {
+        arch: ArchKind::Fa8,
+        ..base_cell()
+    };
+    let smt8 = SweepCell {
+        arch: ArchKind::Smt8,
+        ..base_cell()
+    };
+    assert_ne!(fa8.key(), smt8.key());
+}
+
+#[test]
+fn corrupt_truncated_and_foreign_entries_are_recomputed() {
+    let cell = base_cell();
+    let dir = tmp_dir("corrupt");
+    let cache = ResultCache::new(&dir).unwrap();
+    let key = cell.key();
+    let fresh = cell.simulate();
+    cache.store(key, &fresh);
+    let path = cache.entry_path(key);
+    let good = std::fs::read_to_string(&path).unwrap();
+    assert!(cache.load(key).is_some(), "pristine entry must hit");
+
+    // Flip one digit inside the result payload: digest check rejects it.
+    let cycles_field = format!("\"cycles\":{}", fresh.cycles);
+    let corrupted = good.replace(&cycles_field, &format!("\"cycles\":{}", fresh.cycles + 1));
+    assert_ne!(good, corrupted, "corruption must actually edit the payload");
+    std::fs::write(&path, &corrupted).unwrap();
+    assert!(cache.load(key).is_none(), "tampered payload must miss");
+
+    // Truncation: not even JSON.
+    std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+    assert!(cache.load(key).is_none(), "truncated entry must miss");
+
+    // Foreign schema tag: parseable, self-consistent, still rejected.
+    let foreign = good.replace(CACHE_SCHEMA, "some-other-tool-v9");
+    std::fs::write(&path, &foreign).unwrap();
+    assert!(cache.load(key).is_none(), "foreign schema must miss");
+
+    // The engine recomputes through the bad entry and heals the cache.
+    std::fs::write(&path, &corrupted).unwrap();
+    let out = SweepEngine::new(1, Some(cache.clone())).run(std::slice::from_ref(&cell));
+    assert_eq!((out.hits, out.misses), (0, 1));
+    assert_eq!(
+        serde_json::to_string(&out.results[0]).unwrap(),
+        serde_json::to_string(&fresh).unwrap()
+    );
+    assert_eq!(
+        std::fs::read_to_string(&path).unwrap(),
+        good,
+        "recompute must rewrite the pristine entry"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn entry_carries_its_own_payload_digest() {
+    let cell = base_cell();
+    let dir = tmp_dir("digest");
+    let cache = ResultCache::new(&dir).unwrap();
+    cache.store(cell.key(), &cell.simulate());
+    let text = std::fs::read_to_string(cache.entry_path(cell.key())).unwrap();
+    let entry: serde::Value = serde_json::from_str(&text).unwrap();
+    assert_eq!(entry.get("schema").unwrap().as_str(), Some(CACHE_SCHEMA));
+    let stored = entry.get("payload_digest").unwrap().as_str().unwrap();
+    assert_eq!(stored, payload_digest(entry.get("result").unwrap()));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -45,5 +45,6 @@ pub use multiprogram::{
 };
 pub use runner::{
     simulate, simulate_probed, simulate_with_chip, simulate_with_mem, simulate_with_sched,
+    simulate_with_sched_name,
 };
 pub use tls::{simulate_tls, tls_streams, TlsLoop, TlsResult};

@@ -75,6 +75,32 @@ pub fn simulate_with_sched(
     machine.run(MAX_CYCLES)
 }
 
+/// [`simulate_with_sched`] by policy *name*, degrading exactly like the
+/// `CSMT_SCHED` environment path instead of panicking: a dynamic policy
+/// requested on a fixed-assignment architecture falls back to static
+/// (FA machines pin thread assignment by construction), and an unknown
+/// name keeps the machine's environment-selected default. This is the
+/// cell-execution function of the sweep engine, where one policy name is
+/// applied across a whole (arch × app) grid.
+pub fn simulate_with_sched_name(
+    app: &AppSpec,
+    arch: ArchKind,
+    n_chips: usize,
+    scale: f64,
+    seed: u64,
+    sched: &str,
+) -> RunResult {
+    let mut machine = Machine::new(arch.chip(), n_chips, MemConfig::table3(), seed);
+    if let Some(policy) = csmt_core::sched::by_name(sched) {
+        // Err == dynamic-on-FA: keep the static default, like the env path.
+        let _ = machine.set_scheduler(policy);
+    }
+    let n_threads = machine.hw_thread_capacity();
+    let params = AppParams::new(n_threads, n_chips, scale, seed);
+    machine.attach_threads(build_streams(app, &params));
+    machine.run(MAX_CYCLES)
+}
+
 /// [`simulate_with_chip`] with an observability probe attached to every
 /// cycle (heartbeat samplers, pipeline trace writers — see `csmt-trace`).
 /// With [`csmt_trace::NullProbe`] this is exactly `simulate_with_chip`.

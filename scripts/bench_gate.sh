@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Perf-regression gate: re-run the machine_step and cluster_step benches
-# in smoke mode (--test: 1 timed repetition) and compare the fresh
-# numbers against the committed BENCH_*.json baselines with bench_gate.
+# Perf-regression gate: re-run the machine_step, cluster_step, and sweep
+# benches in smoke mode (--test: 1 timed repetition) and compare the
+# fresh numbers against the committed BENCH_*.json baselines with
+# bench_gate.
 #
 #   scripts/bench_gate.sh [tolerance]     (default 0.25 = fail on >25%)
 #
@@ -13,7 +14,7 @@ TOLERANCE="${1:-0.25}"
 OUT="$(mktemp -d)"
 trap 'rm -rf "$OUT"' EXIT
 
-for bench in machine_step cluster_step; do
+for bench in machine_step cluster_step sweep; do
   echo "==> $bench smoke run"
   CSMT_BENCH_JSON="$OUT/$bench.json" \
     cargo bench -q -p csmt-bench --bench "$bench" -- --test

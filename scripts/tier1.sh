@@ -44,6 +44,21 @@ CSMT_SCHED=hazard_pairing cargo test -q -p csmt-verify --test golden_invariants
 echo "==> fig9 dynamic-allocation smoke (all policies vs SMT2/FA4)"
 cargo run -q --release -p csmt-bench --bin fig9_dynamic_alloc -- --smoke >/dev/null
 
+echo "==> csmt-sweep smoke (tiny grid, cold then warm: cache hits + identical output)"
+SWEEP_TMP="$(mktemp -d)"
+trap 'rm -rf "$SWEEP_TMP"' EXIT
+SWEEP_ARGS=(--archs FA2,SMT2 --apps vpenta,mgrid --scales 0.02 --cache "$SWEEP_TMP/cache")
+cargo run -q --release -p csmt-sweep --bin csmt-sweep -- \
+  "${SWEEP_ARGS[@]}" --out "$SWEEP_TMP/cold.jsonl" --summary "$SWEEP_TMP/cold.json" \
+  | tee "$SWEEP_TMP/cold.log"
+grep -q " 0 hits, 4 misses" "$SWEEP_TMP/cold.log"
+cargo run -q --release -p csmt-sweep --bin csmt-sweep -- \
+  "${SWEEP_ARGS[@]}" --out "$SWEEP_TMP/warm.jsonl" --summary "$SWEEP_TMP/warm.json" \
+  | tee "$SWEEP_TMP/warm.log"
+grep -q " 4 hits, 0 misses" "$SWEEP_TMP/warm.log"
+cmp "$SWEEP_TMP/cold.jsonl" "$SWEEP_TMP/warm.jsonl"
+cmp "$SWEEP_TMP/cold.json" "$SWEEP_TMP/warm.json"
+
 # Miri needs a nightly toolchain with the miri component; run it when
 # available (CI installs it), skip gracefully on stable-only setups.
 if cargo miri --version >/dev/null 2>&1; then

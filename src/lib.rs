@@ -21,6 +21,7 @@
 //! | [`trace`] | observability: pipeline probes, heartbeats, O3PipeView |
 //! | [`metrics`] | top-down cycle accounting, histograms, Perfetto export |
 //! | [`verify`] | invariant checker, Table 2 config validation, stream linter |
+//! | [`sweep`] | design-space sweep engine: work-stealing pool + result cache |
 //!
 //! ## Quickstart
 //!
@@ -43,6 +44,7 @@ pub use csmt_isa as isa;
 pub use csmt_mem as mem;
 pub use csmt_metrics as metrics;
 pub use csmt_model as model;
+pub use csmt_sweep as sweep;
 pub use csmt_trace as trace;
 pub use csmt_verify as verify;
 pub use csmt_workloads as workloads;
@@ -57,6 +59,7 @@ pub mod prelude {
         AttributionTree, HostProfiler, LogHistogram, MetricsProbe, MetricsReport, PerfettoTrace,
     };
     pub use csmt_model::{AppPoint, ArchModel, Region};
+    pub use csmt_sweep::{ResultCache, SweepCell, SweepEngine};
     pub use csmt_trace::{IntervalSampler, NullProbe, PipeviewProbe, Probe, StatsRegistry};
     pub use csmt_verify::{InvariantProbe, Violation, ViolationKind};
     pub use csmt_workloads::{
